@@ -1,0 +1,82 @@
+// Command icibench regenerates every table and figure of the ICIStrategy
+// evaluation (experiments E1-E10, see DESIGN.md) and prints them as aligned
+// text tables, optionally writing CSV files for plotting.
+//
+// Usage:
+//
+//	icibench [-quick] [-run E3,E4] [-csv results/] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"icistrategy/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "icibench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("icibench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "run at reduced scale (seconds instead of minutes)")
+	only := fs.String("run", "", "comma-separated experiment IDs to run (default all), e.g. E1,E3")
+	csvDir := fs.String("csv", "", "directory to write per-experiment CSV files into")
+	seed := fs.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params := experiments.Defaults()
+	if *quick {
+		params = experiments.Quick()
+	}
+	if *seed != 0 {
+		params.Seed = *seed
+	}
+
+	var selected []experiments.Experiment
+	if *only == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (valid: E1..E10)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tbl, err := e.Run(params)
+		if err != nil {
+			return fmt.Errorf("%s (%s): %w", e.ID, e.Name, err)
+		}
+		fmt.Println(tbl.String())
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, strings.ToLower(e.ID)+".csv")
+			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+				return fmt.Errorf("write %s: %w", path, err)
+			}
+		}
+	}
+	return nil
+}

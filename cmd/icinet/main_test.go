@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunTCPDemo(t *testing.T) {
+	if err := run([]string{"-members", "5", "-replication", "2", "-blocks", "2", "-tx", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReplicationOneSkipsKill(t *testing.T) {
+	if err := run([]string{"-members", "4", "-replication", "1", "-blocks", "1", "-tx", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadReplication(t *testing.T) {
+	if err := run([]string{"-members", "2", "-replication", "5", "-blocks", "1"}); err == nil {
+		t.Fatal("replication > members accepted")
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunSmallSimulation(t *testing.T) {
+	if err := run([]string{"-nodes", "24", "-clusters", "2", "-blocks", "2", "-tx", "24", "-verbose"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-nodes", "0"}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

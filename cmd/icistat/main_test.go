@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunDefaultsSmall(t *testing.T) {
+	if err := run([]string{"-nodes", "64", "-clusters", "4", "-blocks", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEveryMethod(t *testing.T) {
+	for _, m := range []string{"kmeans", "balanced-kmeans", "random", "hash"} {
+		if err := run([]string{"-nodes", "32", "-clusters", "4", "-blocks", "5", "-method", m}); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknownMethod(t *testing.T) {
+	if err := run([]string{"-method", "sorting-hat"}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestRunRejectsBadShape(t *testing.T) {
+	if err := run([]string{"-nodes", "4", "-clusters", "8"}); err == nil {
+		t.Fatal("clusters > nodes accepted")
+	}
+}

@@ -1,0 +1,85 @@
+// Storage scaling: reproduce the paper's central comparison through the
+// analytic API — per-node storage of full replication, RapidChain-style
+// sharding, and ICIStrategy as the chain grows, ending with the abstract's
+// "25 % of RapidChain" headline.
+//
+//	go run ./examples/storagescaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"icistrategy/internal/baseline"
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/cluster"
+	"icistrategy/internal/core"
+	"icistrategy/internal/metrics"
+	"icistrategy/internal/simnet"
+	"icistrategy/internal/strategy"
+)
+
+func main() {
+	const (
+		nodes         = 4096
+		clusterSize   = 64  // ICI cluster size
+		committeeSize = 256 // RapidChain committee size
+		blockBody     = 1 << 20
+		chainLength   = 256
+	)
+
+	// One latency topology, two partitions of it: ICI clusters and
+	// RapidChain committees.
+	rng := blockcrypto.NewRNG(42)
+	coords := simnet.RandomCoords(nodes, 60, rng.Fork("coords"))
+	iciAsg, err := cluster.Partition(cluster.BalancedKMeans, coords, nodes/clusterSize, rng.Fork("ici"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	commAsg, err := cluster.Partition(cluster.BalancedKMeans, coords, nodes/committeeSize, rng.Fork("committee"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	full := strategy.NewFullReplication(nodes)
+	rapid, err := baseline.NewRapidChain(commAsg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ici, err := core.NewAccountant(iciAsg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tbl := metrics.NewTable(
+		fmt.Sprintf("per-node storage, %d nodes, 1 MiB blocks", nodes),
+		"blocks", "full", "rapidchain", "ici", "ici/rapid")
+	for b := 1; b <= chainLength; b++ {
+		full.AddBlock(blockBody)
+		rapid.AddBlock(blockBody)
+		ici.AddBlock(blockBody)
+		if b%(chainLength/8) != 0 {
+			continue
+		}
+		fm := must(strategy.MeanNodeBytes(full))
+		rm := must(strategy.MeanNodeBytes(rapid))
+		im := must(strategy.MeanNodeBytes(ici))
+		tbl.AddRow(b,
+			metrics.HumanBytes(fm), metrics.HumanBytes(rm), metrics.HumanBytes(im), im/rm)
+	}
+	fmt.Println(tbl.String())
+
+	fm := must(strategy.MeanNodeBytes(full))
+	rm := must(strategy.MeanNodeBytes(rapid))
+	im := must(strategy.MeanNodeBytes(ici))
+	fmt.Printf("after %d blocks: ICIStrategy needs %.1f%% of RapidChain's storage "+
+		"and %.2f%% of full replication's.\n",
+		chainLength, 100*im/rm, 100*im/fm)
+}
+
+func must(v float64, err error) float64 {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}

@@ -1,0 +1,3 @@
+module icistrategy
+
+go 1.22

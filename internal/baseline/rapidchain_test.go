@@ -1,0 +1,104 @@
+package baseline
+
+import (
+	"testing"
+
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/chain"
+	"icistrategy/internal/cluster"
+	"icistrategy/internal/simnet"
+	"icistrategy/internal/strategy"
+)
+
+func committees(t testing.TB, n, k int) *cluster.Assignment {
+	t.Helper()
+	coords := simnet.RandomCoords(n, 60, blockcrypto.NewRNG(3))
+	asg, err := cluster.Partition(cluster.BalancedKMeans, coords, k, blockcrypto.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return asg
+}
+
+func TestNewRapidChainValidation(t *testing.T) {
+	if _, err := NewRapidChain(nil); err == nil {
+		t.Fatal("nil assignment accepted")
+	}
+}
+
+func TestRapidChainShardStorage(t *testing.T) {
+	asg := committees(t, 64, 4)
+	rc, err := NewRapidChain(asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.NumCommittees() != 4 || rc.NumNodes() != 64 {
+		t.Fatalf("shape: %d committees, %d nodes", rc.NumCommittees(), rc.NumNodes())
+	}
+	// 8 equal blocks: every shard receives exactly 2.
+	const body = 10_000
+	for b := 0; b < 8; b++ {
+		rc.AddBlock(body)
+	}
+	if rc.NumBlocks() != 8 {
+		t.Fatalf("NumBlocks() = %d", rc.NumBlocks())
+	}
+	want := int64(2*body + 2*chain.HeaderSize)
+	for i := 0; i < 64; i++ {
+		got, err := rc.NodeBytes(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("node %d stores %d, want %d", i, got, want)
+		}
+		bs, _ := rc.BootstrapBytes(i)
+		if bs != got {
+			t.Fatalf("bootstrap %d != storage %d", bs, got)
+		}
+	}
+}
+
+func TestRapidChainVsFullReplication(t *testing.T) {
+	// RapidChain per-node storage must be ~1/k of full replication.
+	const n, k, blocks, body = 64, 4, 40, 25_000
+	asg := committees(t, n, k)
+	rc, err := NewRapidChain(asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := strategy.NewFullReplication(n)
+	for b := 0; b < blocks; b++ {
+		rc.AddBlock(body)
+		full.AddBlock(body)
+	}
+	rcMean, err := strategy.MeanNodeBytes(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullMean, err := strategy.MeanNodeBytes(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := rcMean / fullMean
+	if ratio < 0.2 || ratio > 0.3 { // ~1/4
+		t.Fatalf("rapidchain/full ratio = %.3f, want ~0.25", ratio)
+	}
+}
+
+func TestRapidChainNodeBytesRange(t *testing.T) {
+	rc, _ := NewRapidChain(committees(t, 8, 2))
+	if _, err := rc.NodeBytes(-1); err == nil {
+		t.Fatal("negative node accepted")
+	}
+	if _, err := rc.NodeBytes(8); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestRapidChainName(t *testing.T) {
+	rc, _ := NewRapidChain(committees(t, 8, 2))
+	if rc.Name() != "rapidchain" {
+		t.Fatalf("Name() = %q", rc.Name())
+	}
+}

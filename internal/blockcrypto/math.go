@@ -1,0 +1,9 @@
+package blockcrypto
+
+import "math"
+
+// boxMullerScale computes sqrt(-2*ln(s)/s) for the polar Box-Muller
+// transform in RNG.NormFloat64.
+func boxMullerScale(s float64) float64 {
+	return math.Sqrt(-2 * math.Log(s) / s)
+}

@@ -1,0 +1,171 @@
+package chain
+
+import (
+	"testing"
+
+	"icistrategy/internal/blockcrypto"
+)
+
+// newTestBlock builds a block with n signed transactions at the given height.
+func newTestBlock(t testing.TB, height uint64, prev blockcrypto.Hash, n int) *Block {
+	t.Helper()
+	txs := make([]*Transaction, n)
+	for i := range txs {
+		tx, _ := newTestTx(t, uint64(i+1), uint64(i+2), 10, height, []byte("p"))
+		txs[i] = tx
+	}
+	b, err := NewBlock(height, prev, txs, height*1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewBlockRejectsEmpty(t *testing.T) {
+	if _, err := NewBlock(0, blockcrypto.ZeroHash, nil, 0, 0); err == nil {
+		t.Fatal("empty block accepted")
+	}
+}
+
+func TestHeaderEncodeDecodeRoundTrip(t *testing.T) {
+	b := newTestBlock(t, 3, blockcrypto.Sum256([]byte("prev")), 5)
+	enc := b.Header.Encode()
+	if len(enc) != HeaderSize {
+		t.Fatalf("encoded header is %d bytes, want %d", len(enc), HeaderSize)
+	}
+	got, err := DecodeHeader(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != b.Header {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, b.Header)
+	}
+}
+
+func TestDecodeHeaderTruncated(t *testing.T) {
+	if _, err := DecodeHeader(make([]byte, HeaderSize-1)); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestBlockEncodeDecodeRoundTrip(t *testing.T) {
+	b := newTestBlock(t, 0, blockcrypto.ZeroHash, 8)
+	enc := b.Encode()
+	got, err := DecodeBlock(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash() != b.Hash() {
+		t.Fatal("round trip changed block hash")
+	}
+	if err := got.VerifyShape(); err != nil {
+		t.Fatalf("decoded block fails shape check: %v", err)
+	}
+}
+
+func TestBodySizeMatchesEncoding(t *testing.T) {
+	b := newTestBlock(t, 0, blockcrypto.ZeroHash, 13)
+	if got, want := b.BodySize(), len(b.EncodeBody()); got != want {
+		t.Fatalf("BodySize() = %d, len(EncodeBody()) = %d", got, want)
+	}
+}
+
+func TestDecodeBodyRejectsTrailingBytes(t *testing.T) {
+	b := newTestBlock(t, 0, blockcrypto.ZeroHash, 2)
+	body := append(b.EncodeBody(), 0x00)
+	if _, err := DecodeBody(body); err == nil {
+		t.Fatal("body with trailing garbage accepted")
+	}
+}
+
+func TestDecodeBodyTruncated(t *testing.T) {
+	b := newTestBlock(t, 0, blockcrypto.ZeroHash, 3)
+	body := b.EncodeBody()
+	if _, err := DecodeBody(body[:len(body)-5]); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+	if _, err := DecodeBody(nil); err == nil {
+		t.Fatal("nil body accepted")
+	}
+}
+
+func TestVerifyShapeDetectsTamperedBody(t *testing.T) {
+	b := newTestBlock(t, 0, blockcrypto.ZeroHash, 4)
+	b.Txs[2].Amount++ // breaks the Merkle root
+	if err := b.VerifyShape(); err == nil {
+		t.Fatal("tampered body passed shape verification")
+	}
+}
+
+func TestVerifyShapeDetectsWrongTxCount(t *testing.T) {
+	b := newTestBlock(t, 0, blockcrypto.ZeroHash, 4)
+	b.Header.TxCount = 3
+	if err := b.VerifyShape(); err == nil {
+		t.Fatal("wrong TxCount passed shape verification")
+	}
+}
+
+func TestVerifyLink(t *testing.T) {
+	genesis := newTestBlock(t, 0, blockcrypto.ZeroHash, 2)
+	next := newTestBlock(t, 1, genesis.Hash(), 2)
+	if err := next.VerifyLink(&genesis.Header); err != nil {
+		t.Fatalf("valid link rejected: %v", err)
+	}
+
+	wrongParent := newTestBlock(t, 1, blockcrypto.Sum256([]byte("other")), 2)
+	if err := wrongParent.VerifyLink(&genesis.Header); err == nil {
+		t.Fatal("wrong parent accepted")
+	}
+
+	wrongHeight := newTestBlock(t, 5, genesis.Hash(), 2)
+	if err := wrongHeight.VerifyLink(&genesis.Header); err == nil {
+		t.Fatal("wrong height accepted")
+	}
+}
+
+func TestVerifyLinkRejectsTimeRegression(t *testing.T) {
+	genesis := newTestBlock(t, 0, blockcrypto.ZeroHash, 2)
+	genesis.Header.TimeMillis = 10_000
+	txs := []*Transaction{genesis.Txs[0]}
+	next, err := NewBlock(1, genesis.Hash(), txs, 5_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := next.VerifyLink(&genesis.Header); err == nil {
+		t.Fatal("time-regressing block accepted")
+	}
+}
+
+func TestBlockHashDependsOnHeaderOnly(t *testing.T) {
+	b := newTestBlock(t, 0, blockcrypto.ZeroHash, 4)
+	h1 := b.Hash()
+	// Mutating the body without updating the root does not change the block
+	// ID — the Merkle root is the commitment, and VerifyShape catches the
+	// inconsistency.
+	b.Txs[0].Amount++
+	if b.Hash() != h1 {
+		t.Fatal("block hash changed without a header change")
+	}
+	if err := b.VerifyShape(); err == nil {
+		t.Fatal("inconsistent body undetected")
+	}
+}
+
+func BenchmarkBlockEncode(b *testing.B) {
+	blk := newTestBlock(b, 0, blockcrypto.ZeroHash, 256)
+	b.SetBytes(int64(len(blk.Encode())))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		blk.Encode()
+	}
+}
+
+func BenchmarkBlockVerifyShape(b *testing.B) {
+	blk := newTestBlock(b, 0, blockcrypto.ZeroHash, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := blk.VerifyShape(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+
+	"icistrategy/internal/blockcrypto"
+)
+
+// Ledger errors.
+var (
+	ErrInsufficientFunds = errors.New("chain: insufficient funds")
+	ErrBadNonce          = errors.New("chain: transaction nonce out of order")
+	ErrUnknownParent     = errors.New("chain: block parent not found")
+)
+
+// Account is the mutable state of one account.
+type Account struct {
+	Balance uint64
+	Nonce   uint64 // next expected transaction nonce
+}
+
+// Ledger is an account-based state machine: a map of balances plus chained
+// block headers. Applying a block is atomic — either every transaction is
+// valid and the state advances, or the ledger is unchanged.
+//
+// Ledger is not safe for concurrent use; in the simulator each node owns
+// its ledger.
+type Ledger struct {
+	accounts map[AccountID]Account
+	tip      *Header
+	headers  map[blockcrypto.Hash]Header
+	height   uint64
+}
+
+// NewLedger returns an empty ledger with no blocks applied.
+func NewLedger() *Ledger {
+	return &Ledger{
+		accounts: make(map[AccountID]Account),
+		headers:  make(map[blockcrypto.Hash]Header),
+	}
+}
+
+// Credit seeds an account with funds outside any block (genesis allocation).
+func (l *Ledger) Credit(id AccountID, amount uint64) {
+	acct := l.accounts[id]
+	acct.Balance += amount
+	l.accounts[id] = acct
+}
+
+// Account returns the current state of id (zero value if never seen).
+func (l *Ledger) Account(id AccountID) Account {
+	return l.accounts[id]
+}
+
+// Height returns the number of blocks applied.
+func (l *Ledger) Height() uint64 {
+	return l.height
+}
+
+// Tip returns the header of the most recently applied block, or nil if none.
+func (l *Ledger) Tip() *Header {
+	return l.tip
+}
+
+// HeaderByHash returns a previously applied header.
+func (l *Ledger) HeaderByHash(h blockcrypto.Hash) (Header, bool) {
+	hdr, ok := l.headers[h]
+	return hdr, ok
+}
+
+// checkTx validates tx against the sender's pending state without mutating
+// the ledger.
+func checkTx(from Account, tx *Transaction) error {
+	if err := tx.VerifySignature(); err != nil {
+		return err
+	}
+	if tx.Nonce != from.Nonce {
+		return fmt.Errorf("%w: got %d want %d", ErrBadNonce, tx.Nonce, from.Nonce)
+	}
+	total := tx.Amount + tx.Fee
+	if total < tx.Amount { // overflow
+		return ErrInsufficientFunds
+	}
+	if from.Balance < total {
+		return fmt.Errorf("%w: balance %d, need %d", ErrInsufficientFunds, from.Balance, total)
+	}
+	return nil
+}
+
+// ApplyBlock validates b in full (shape, linkage, every transaction) and
+// applies it atomically. On any error the ledger is left untouched.
+func (l *Ledger) ApplyBlock(b *Block) error {
+	if err := b.VerifyShape(); err != nil {
+		return err
+	}
+	if l.tip == nil {
+		if !b.Header.PrevHash.IsZero() {
+			return ErrUnknownParent
+		}
+		if b.Header.Height != 0 {
+			return ErrBlockBadHeight
+		}
+	} else if err := b.VerifyLink(l.tip); err != nil {
+		return err
+	}
+
+	// Stage all mutations on copies so failure cannot corrupt state.
+	staged := make(map[AccountID]Account)
+	view := func(id AccountID) Account {
+		if a, ok := staged[id]; ok {
+			return a
+		}
+		return l.accounts[id]
+	}
+	for i, tx := range b.Txs {
+		from := view(tx.From)
+		if err := checkTx(from, tx); err != nil {
+			return fmt.Errorf("block %d tx %d: %w", b.Header.Height, i, err)
+		}
+		from.Balance -= tx.Amount + tx.Fee
+		from.Nonce++
+		staged[tx.From] = from
+		to := view(tx.To)
+		to.Balance += tx.Amount
+		staged[tx.To] = to
+	}
+	for id, acct := range staged {
+		l.accounts[id] = acct
+	}
+	hdr := b.Header
+	l.headers[hdr.Hash()] = hdr
+	l.tip = &hdr
+	l.height++
+	return nil
+}
+
+// TotalSupply sums all balances; fees are burned, so supply only decreases
+// as blocks apply. Used by invariant tests.
+func (l *Ledger) TotalSupply() uint64 {
+	var sum uint64
+	for _, a := range l.accounts {
+		sum += a.Balance
+	}
+	return sum
+}
+
+// NumAccounts returns how many accounts have been touched.
+func (l *Ledger) NumAccounts() int {
+	return len(l.accounts)
+}

@@ -1,0 +1,200 @@
+package chain
+
+import (
+	"testing"
+
+	"icistrategy/internal/blockcrypto"
+)
+
+// ledgerFixture returns a ledger with k funded accounts and their keys.
+func ledgerFixture(t testing.TB, k int, funds uint64) (*Ledger, []blockcrypto.KeyPair, []AccountID) {
+	t.Helper()
+	l := NewLedger()
+	keys := make([]blockcrypto.KeyPair, k)
+	ids := make([]AccountID, k)
+	for i := range keys {
+		keys[i] = blockcrypto.DeriveKeyPair(2000, uint64(i))
+		ids[i] = blockcrypto.PublicKeyHash(keys[i].Public)
+		l.Credit(ids[i], funds)
+	}
+	return l, keys, ids
+}
+
+func signedTransfer(keys []blockcrypto.KeyPair, ids []AccountID, from, to int, amount, nonce uint64) *Transaction {
+	tx := &Transaction{
+		From:   ids[from],
+		To:     ids[to],
+		Amount: amount,
+		Nonce:  nonce,
+		Fee:    1,
+	}
+	tx.Sign(keys[from])
+	return tx
+}
+
+func mustBlock(t testing.TB, height uint64, prev blockcrypto.Hash, txs []*Transaction) *Block {
+	t.Helper()
+	b, err := NewBlock(height, prev, txs, height*1000+1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestLedgerApplyGenesis(t *testing.T) {
+	l, keys, ids := ledgerFixture(t, 3, 1000)
+	b := mustBlock(t, 0, blockcrypto.ZeroHash, []*Transaction{
+		signedTransfer(keys, ids, 0, 1, 100, 0),
+	})
+	if err := l.ApplyBlock(b); err != nil {
+		t.Fatalf("genesis apply: %v", err)
+	}
+	if got := l.Account(ids[0]).Balance; got != 1000-100-1 {
+		t.Fatalf("sender balance = %d, want %d", got, 1000-100-1)
+	}
+	if got := l.Account(ids[1]).Balance; got != 1100 {
+		t.Fatalf("recipient balance = %d, want 1100", got)
+	}
+	if l.Height() != 1 {
+		t.Fatalf("height = %d, want 1", l.Height())
+	}
+	if l.Tip() == nil || l.Tip().Hash() != b.Hash() {
+		t.Fatal("tip not updated")
+	}
+}
+
+func TestLedgerRejectsNonGenesisFirstBlock(t *testing.T) {
+	l, keys, ids := ledgerFixture(t, 2, 1000)
+	b := mustBlock(t, 1, blockcrypto.Sum256([]byte("phantom")), []*Transaction{
+		signedTransfer(keys, ids, 0, 1, 1, 0),
+	})
+	if err := l.ApplyBlock(b); err == nil {
+		t.Fatal("first block with nonzero parent accepted")
+	}
+}
+
+func TestLedgerChainOfBlocks(t *testing.T) {
+	l, keys, ids := ledgerFixture(t, 4, 10_000)
+	prev := blockcrypto.ZeroHash
+	nonces := make([]uint64, 4)
+	for h := uint64(0); h < 10; h++ {
+		from := int(h % 4)
+		to := (from + 1) % 4
+		tx := signedTransfer(keys, ids, from, to, 10, nonces[from])
+		nonces[from]++
+		b := mustBlock(t, h, prev, []*Transaction{tx})
+		if err := l.ApplyBlock(b); err != nil {
+			t.Fatalf("block %d: %v", h, err)
+		}
+		prev = b.Hash()
+	}
+	if l.Height() != 10 {
+		t.Fatalf("height = %d, want 10", l.Height())
+	}
+	// Headers all retrievable by hash.
+	if _, ok := l.HeaderByHash(prev); !ok {
+		t.Fatal("tip header not retrievable")
+	}
+}
+
+func TestLedgerRejectsInsufficientFunds(t *testing.T) {
+	l, keys, ids := ledgerFixture(t, 2, 50)
+	b := mustBlock(t, 0, blockcrypto.ZeroHash, []*Transaction{
+		signedTransfer(keys, ids, 0, 1, 50, 0), // 50 + fee 1 > 50
+	})
+	if err := l.ApplyBlock(b); err == nil {
+		t.Fatal("overdraft accepted")
+	}
+	if l.Height() != 0 {
+		t.Fatal("failed apply advanced the ledger")
+	}
+}
+
+func TestLedgerRejectsBadNonce(t *testing.T) {
+	l, keys, ids := ledgerFixture(t, 2, 1000)
+	b := mustBlock(t, 0, blockcrypto.ZeroHash, []*Transaction{
+		signedTransfer(keys, ids, 0, 1, 10, 5),
+	})
+	if err := l.ApplyBlock(b); err == nil {
+		t.Fatal("out-of-order nonce accepted")
+	}
+}
+
+func TestLedgerReplayRejected(t *testing.T) {
+	l, keys, ids := ledgerFixture(t, 2, 1000)
+	tx := signedTransfer(keys, ids, 0, 1, 10, 0)
+	b0 := mustBlock(t, 0, blockcrypto.ZeroHash, []*Transaction{tx})
+	if err := l.ApplyBlock(b0); err != nil {
+		t.Fatal(err)
+	}
+	// Same signed transaction replayed in the next block must fail: the
+	// sender's nonce has advanced.
+	b1 := mustBlock(t, 1, b0.Hash(), []*Transaction{tx})
+	if err := l.ApplyBlock(b1); err == nil {
+		t.Fatal("replayed transaction accepted")
+	}
+}
+
+func TestLedgerAtomicity(t *testing.T) {
+	l, keys, ids := ledgerFixture(t, 3, 100)
+	good := signedTransfer(keys, ids, 0, 1, 10, 0)
+	bad := signedTransfer(keys, ids, 2, 1, 1000, 0) // overdraft
+	b := mustBlock(t, 0, blockcrypto.ZeroHash, []*Transaction{good, bad})
+	if err := l.ApplyBlock(b); err == nil {
+		t.Fatal("block with invalid tx accepted")
+	}
+	// The good transaction must not have been applied.
+	if got := l.Account(ids[0]).Balance; got != 100 {
+		t.Fatalf("partial application: sender balance %d, want 100", got)
+	}
+	if got := l.Account(ids[1]).Balance; got != 100 {
+		t.Fatalf("partial application: recipient balance %d, want 100", got)
+	}
+}
+
+func TestLedgerIntraBlockDependencies(t *testing.T) {
+	// tx1 funds account 1; tx2 spends those funds within the same block.
+	l, keys, ids := ledgerFixture(t, 3, 0)
+	l.Credit(ids[0], 1000)
+	tx1 := signedTransfer(keys, ids, 0, 1, 500, 0)
+	tx2 := signedTransfer(keys, ids, 1, 2, 400, 0)
+	b := mustBlock(t, 0, blockcrypto.ZeroHash, []*Transaction{tx1, tx2})
+	if err := l.ApplyBlock(b); err != nil {
+		t.Fatalf("intra-block dependency rejected: %v", err)
+	}
+	if got := l.Account(ids[2]).Balance; got != 400 {
+		t.Fatalf("account 2 balance = %d, want 400", got)
+	}
+}
+
+func TestLedgerSupplyDecreasesByFees(t *testing.T) {
+	l, keys, ids := ledgerFixture(t, 2, 1000)
+	before := l.TotalSupply()
+	b := mustBlock(t, 0, blockcrypto.ZeroHash, []*Transaction{
+		signedTransfer(keys, ids, 0, 1, 10, 0), // fee 1 burned
+	})
+	if err := l.ApplyBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.TotalSupply(); got != before-1 {
+		t.Fatalf("supply = %d, want %d", got, before-1)
+	}
+}
+
+func TestLedgerDoubleSpendAcrossOneBlock(t *testing.T) {
+	l, keys, ids := ledgerFixture(t, 3, 100)
+	// Both spend the full balance with the same nonce: second must fail.
+	tx1 := signedTransfer(keys, ids, 0, 1, 99, 0)
+	tx2 := signedTransfer(keys, ids, 0, 2, 99, 0)
+	b := mustBlock(t, 0, blockcrypto.ZeroHash, []*Transaction{tx1, tx2})
+	if err := l.ApplyBlock(b); err == nil {
+		t.Fatal("double spend accepted")
+	}
+}
+
+func TestLedgerNumAccounts(t *testing.T) {
+	l, _, _ := ledgerFixture(t, 5, 10)
+	if got := l.NumAccounts(); got != 5 {
+		t.Fatalf("NumAccounts() = %d, want 5", got)
+	}
+}

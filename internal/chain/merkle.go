@@ -1,0 +1,129 @@
+package chain
+
+import (
+	"errors"
+
+	"icistrategy/internal/blockcrypto"
+)
+
+// Merkle tree errors.
+var (
+	ErrEmptyTree     = errors.New("chain: merkle tree has no leaves")
+	ErrLeafOutOfs    = errors.New("chain: merkle leaf index out of range")
+	ErrProofInvalid  = errors.New("chain: merkle proof does not verify")
+	ErrProofTooLarge = errors.New("chain: merkle proof longer than tree depth bound")
+)
+
+// maxProofDepth bounds proof length during verification; 2^64 leaves is
+// unreachable, 64 levels is a safe ceiling.
+const maxProofDepth = 64
+
+// MerkleTree is a binary hash tree over a sequence of leaf hashes. Odd
+// levels duplicate the trailing node (Bitcoin-style). The tree retains all
+// interior levels so proofs are O(log n) lookups.
+type MerkleTree struct {
+	levels [][]blockcrypto.Hash // levels[0] = leaves, last level = [root]
+}
+
+// NewMerkleTree builds a tree over the given leaf hashes.
+func NewMerkleTree(leaves []blockcrypto.Hash) (*MerkleTree, error) {
+	if len(leaves) == 0 {
+		return nil, ErrEmptyTree
+	}
+	t := &MerkleTree{}
+	level := append([]blockcrypto.Hash(nil), leaves...)
+	t.levels = append(t.levels, level)
+	for len(level) > 1 {
+		next := make([]blockcrypto.Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, blockcrypto.HashPair(level[i], level[i+1]))
+			} else {
+				next = append(next, blockcrypto.HashPair(level[i], level[i]))
+			}
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t, nil
+}
+
+// TxMerkleTree builds the tree over the IDs of the given transactions.
+func TxMerkleTree(txs []*Transaction) (*MerkleTree, error) {
+	leaves := make([]blockcrypto.Hash, len(txs))
+	for i, tx := range txs {
+		leaves[i] = tx.ID()
+	}
+	return NewMerkleTree(leaves)
+}
+
+// Root returns the root hash of the tree.
+func (t *MerkleTree) Root() blockcrypto.Hash {
+	top := t.levels[len(t.levels)-1]
+	return top[0]
+}
+
+// NumLeaves returns the number of leaves.
+func (t *MerkleTree) NumLeaves() int {
+	return len(t.levels[0])
+}
+
+// ProofStep is one sibling on the path from a leaf to the root.
+type ProofStep struct {
+	Sibling blockcrypto.Hash
+	// Left reports whether the sibling is the left operand of HashPair.
+	Left bool
+}
+
+// Proof is a Merkle membership proof for a single leaf.
+type Proof struct {
+	LeafIndex int
+	Steps     []ProofStep
+}
+
+// EncodedSize returns the wire size of the proof: 4 bytes of index plus
+// (hash + side byte) per step. Used by the communication cost accounting.
+func (p Proof) EncodedSize() int {
+	return 4 + len(p.Steps)*(blockcrypto.HashSize+1)
+}
+
+// Prove returns the membership proof for leaf index i.
+func (t *MerkleTree) Prove(i int) (Proof, error) {
+	if i < 0 || i >= t.NumLeaves() {
+		return Proof{}, ErrLeafOutOfs
+	}
+	proof := Proof{LeafIndex: i}
+	idx := i
+	for _, level := range t.levels[:len(t.levels)-1] {
+		sib := idx ^ 1
+		if sib >= len(level) {
+			sib = idx // duplicated trailing node
+		}
+		proof.Steps = append(proof.Steps, ProofStep{
+			Sibling: level[sib],
+			Left:    sib < idx,
+		})
+		idx /= 2
+	}
+	return proof, nil
+}
+
+// VerifyProof checks that leaf is a member of the tree with the given root
+// under proof.
+func VerifyProof(root, leaf blockcrypto.Hash, proof Proof) error {
+	if len(proof.Steps) > maxProofDepth {
+		return ErrProofTooLarge
+	}
+	h := leaf
+	for _, s := range proof.Steps {
+		if s.Left {
+			h = blockcrypto.HashPair(s.Sibling, h)
+		} else {
+			h = blockcrypto.HashPair(h, s.Sibling)
+		}
+	}
+	if h != root {
+		return ErrProofInvalid
+	}
+	return nil
+}

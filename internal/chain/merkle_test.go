@@ -1,0 +1,182 @@
+package chain
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"icistrategy/internal/blockcrypto"
+)
+
+func leavesOf(n int) []blockcrypto.Hash {
+	out := make([]blockcrypto.Hash, n)
+	for i := range out {
+		out[i] = blockcrypto.Sum256([]byte(fmt.Sprintf("leaf-%d", i)))
+	}
+	return out
+}
+
+func TestMerkleEmptyRejected(t *testing.T) {
+	if _, err := NewMerkleTree(nil); err == nil {
+		t.Fatal("empty tree accepted")
+	}
+}
+
+func TestMerkleSingleLeaf(t *testing.T) {
+	leaves := leavesOf(1)
+	tree, err := NewMerkleTree(leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root() != leaves[0] {
+		t.Fatal("single-leaf root should be the leaf itself")
+	}
+	proof, err := tree.Prove(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proof.Steps) != 0 {
+		t.Fatalf("single-leaf proof has %d steps, want 0", len(proof.Steps))
+	}
+	if err := VerifyProof(tree.Root(), leaves[0], proof); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMerkleAllProofsVerify(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 15, 16, 33, 100} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			leaves := leavesOf(n)
+			tree, err := NewMerkleTree(leaves)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				proof, err := tree.Prove(i)
+				if err != nil {
+					t.Fatalf("Prove(%d): %v", i, err)
+				}
+				if err := VerifyProof(tree.Root(), leaves[i], proof); err != nil {
+					t.Fatalf("proof for leaf %d rejected: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+func TestMerkleProofRejectsWrongLeaf(t *testing.T) {
+	leaves := leavesOf(10)
+	tree, _ := NewMerkleTree(leaves)
+	proof, _ := tree.Prove(3)
+	if err := VerifyProof(tree.Root(), leaves[4], proof); err == nil {
+		t.Fatal("proof for leaf 3 verified leaf 4")
+	}
+}
+
+func TestMerkleProofRejectsWrongRoot(t *testing.T) {
+	leaves := leavesOf(10)
+	tree, _ := NewMerkleTree(leaves)
+	proof, _ := tree.Prove(3)
+	badRoot := blockcrypto.Sum256([]byte("not the root"))
+	if err := VerifyProof(badRoot, leaves[3], proof); err == nil {
+		t.Fatal("proof verified against wrong root")
+	}
+}
+
+func TestMerkleProofRejectsTamperedStep(t *testing.T) {
+	leaves := leavesOf(16)
+	tree, _ := NewMerkleTree(leaves)
+	proof, _ := tree.Prove(5)
+	proof.Steps[1].Sibling[0] ^= 1
+	if err := VerifyProof(tree.Root(), leaves[5], proof); err == nil {
+		t.Fatal("tampered proof accepted")
+	}
+}
+
+func TestMerkleProofRejectsFlippedSide(t *testing.T) {
+	leaves := leavesOf(16)
+	tree, _ := NewMerkleTree(leaves)
+	proof, _ := tree.Prove(5)
+	proof.Steps[0].Left = !proof.Steps[0].Left
+	if err := VerifyProof(tree.Root(), leaves[5], proof); err == nil {
+		t.Fatal("side-flipped proof accepted")
+	}
+}
+
+func TestMerkleProveOutOfRange(t *testing.T) {
+	tree, _ := NewMerkleTree(leavesOf(4))
+	for _, i := range []int{-1, 4, 100} {
+		if _, err := tree.Prove(i); err == nil {
+			t.Fatalf("Prove(%d) succeeded", i)
+		}
+	}
+}
+
+func TestMerkleProofTooLargeRejected(t *testing.T) {
+	leaf := blockcrypto.Sum256([]byte("x"))
+	proof := Proof{Steps: make([]ProofStep, maxProofDepth+1)}
+	if err := VerifyProof(leaf, leaf, proof); err != ErrProofTooLarge {
+		t.Fatalf("got %v, want ErrProofTooLarge", err)
+	}
+}
+
+func TestMerkleRootSensitiveToAnyLeaf(t *testing.T) {
+	f := func(seed uint8, idx uint8) bool {
+		n := int(seed%31) + 2
+		leaves := leavesOf(n)
+		tree, _ := NewMerkleTree(leaves)
+		i := int(idx) % n
+		mutated := append([]blockcrypto.Hash(nil), leaves...)
+		mutated[i][0] ^= 0xff
+		tree2, _ := NewMerkleTree(mutated)
+		return tree.Root() != tree2.Root()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMerkleProofSizeLogarithmic(t *testing.T) {
+	tree, _ := NewMerkleTree(leavesOf(1024))
+	proof, _ := tree.Prove(512)
+	if len(proof.Steps) != 10 {
+		t.Fatalf("1024-leaf proof has %d steps, want 10", len(proof.Steps))
+	}
+	if got := proof.EncodedSize(); got != 4+10*(blockcrypto.HashSize+1) {
+		t.Fatalf("EncodedSize() = %d", got)
+	}
+}
+
+func TestMerkleDeterministic(t *testing.T) {
+	a, _ := NewMerkleTree(leavesOf(37))
+	b, _ := NewMerkleTree(leavesOf(37))
+	if a.Root() != b.Root() {
+		t.Fatal("same leaves produced different roots")
+	}
+}
+
+func BenchmarkMerkleBuild1024(b *testing.B) {
+	leaves := leavesOf(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewMerkleTree(leaves); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMerkleProveVerify(b *testing.B) {
+	tree, _ := NewMerkleTree(leavesOf(1024))
+	leaves := leavesOf(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		idx := i % 1024
+		proof, err := tree.Prove(idx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := VerifyProof(tree.Root(), leaves[idx], proof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

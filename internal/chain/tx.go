@@ -1,0 +1,157 @@
+// Package chain implements the blockchain data model used by every storage
+// strategy in this repository: signed transactions, Merkle trees with
+// membership proofs, blocks, and an account-based ledger with full
+// validation. The encodings are deterministic, length-prefixed binary so that
+// hashes and storage accounting are stable across runs.
+package chain
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"icistrategy/internal/blockcrypto"
+)
+
+// Transaction errors.
+var (
+	ErrTxBadSignature = errors.New("chain: transaction signature invalid")
+	ErrTxTruncated    = errors.New("chain: transaction encoding truncated")
+	ErrTxZeroAmount   = errors.New("chain: transaction amount must be positive")
+	ErrTxSelfTransfer = errors.New("chain: sender and recipient are identical")
+)
+
+// AccountID identifies an account: the hash of its public key.
+type AccountID = blockcrypto.Hash
+
+// Transaction is a signed value transfer between two accounts, with an
+// optional opaque payload to model non-trivial transaction sizes.
+type Transaction struct {
+	From      AccountID
+	To        AccountID
+	Amount    uint64
+	Nonce     uint64 // per-sender sequence number, for replay protection
+	Fee       uint64
+	Payload   []byte
+	PublicKey []byte // sender's Ed25519 public key
+	Signature []byte
+}
+
+// SigningBytes returns the canonical byte string covered by the signature:
+// every field except PublicKey and Signature.
+func (tx *Transaction) SigningBytes() []byte {
+	buf := make([]byte, 0, 2*blockcrypto.HashSize+24+len(tx.Payload))
+	buf = append(buf, tx.From[:]...)
+	buf = append(buf, tx.To[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, tx.Amount)
+	buf = binary.BigEndian.AppendUint64(buf, tx.Nonce)
+	buf = binary.BigEndian.AppendUint64(buf, tx.Fee)
+	buf = append(buf, tx.Payload...)
+	return buf
+}
+
+// Sign populates PublicKey and Signature using key, which must belong to the
+// From account.
+func (tx *Transaction) Sign(key blockcrypto.KeyPair) {
+	tx.PublicKey = append([]byte(nil), key.Public...)
+	tx.Signature = key.Sign(tx.SigningBytes())
+}
+
+// ID returns the content address of the encoded transaction.
+func (tx *Transaction) ID() blockcrypto.Hash {
+	return blockcrypto.Sum256(tx.Encode())
+}
+
+// VerifySignature checks structural sanity and that Signature is a valid
+// signature of SigningBytes under PublicKey, and that PublicKey hashes to
+// the From account.
+func (tx *Transaction) VerifySignature() error {
+	if tx.Amount == 0 {
+		return ErrTxZeroAmount
+	}
+	if tx.From == tx.To {
+		return ErrTxSelfTransfer
+	}
+	if blockcrypto.PublicKeyHash(tx.PublicKey) != tx.From {
+		return fmt.Errorf("%w: public key does not hash to sender account", ErrTxBadSignature)
+	}
+	if err := blockcrypto.Verify(tx.PublicKey, tx.SigningBytes(), tx.Signature); err != nil {
+		return fmt.Errorf("%w: %v", ErrTxBadSignature, err)
+	}
+	return nil
+}
+
+// Encode serializes the transaction to the canonical binary form:
+//
+//	from(32) to(32) amount(8) nonce(8) fee(8)
+//	payloadLen(4) payload pubKeyLen(2) pubKey sigLen(2) sig
+func (tx *Transaction) Encode() []byte {
+	n := 2*blockcrypto.HashSize + 24 + 4 + len(tx.Payload) + 2 + len(tx.PublicKey) + 2 + len(tx.Signature)
+	buf := make([]byte, 0, n)
+	buf = append(buf, tx.From[:]...)
+	buf = append(buf, tx.To[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, tx.Amount)
+	buf = binary.BigEndian.AppendUint64(buf, tx.Nonce)
+	buf = binary.BigEndian.AppendUint64(buf, tx.Fee)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(tx.Payload)))
+	buf = append(buf, tx.Payload...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(tx.PublicKey)))
+	buf = append(buf, tx.PublicKey...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(tx.Signature)))
+	buf = append(buf, tx.Signature...)
+	return buf
+}
+
+// EncodedSize returns len(tx.Encode()) without allocating.
+func (tx *Transaction) EncodedSize() int {
+	return 2*blockcrypto.HashSize + 24 + 4 + len(tx.Payload) + 2 + len(tx.PublicKey) + 2 + len(tx.Signature)
+}
+
+// DecodeTransaction parses one transaction from the front of data and
+// returns it along with the number of bytes consumed.
+func DecodeTransaction(data []byte) (*Transaction, int, error) {
+	fixed := 2*blockcrypto.HashSize + 24 + 4
+	if len(data) < fixed {
+		return nil, 0, ErrTxTruncated
+	}
+	var tx Transaction
+	off := 0
+	copy(tx.From[:], data[off:])
+	off += blockcrypto.HashSize
+	copy(tx.To[:], data[off:])
+	off += blockcrypto.HashSize
+	tx.Amount = binary.BigEndian.Uint64(data[off:])
+	off += 8
+	tx.Nonce = binary.BigEndian.Uint64(data[off:])
+	off += 8
+	tx.Fee = binary.BigEndian.Uint64(data[off:])
+	off += 8
+	payloadLen := int(binary.BigEndian.Uint32(data[off:]))
+	off += 4
+	if len(data) < off+payloadLen+2 {
+		return nil, 0, ErrTxTruncated
+	}
+	if payloadLen > 0 {
+		tx.Payload = append([]byte(nil), data[off:off+payloadLen]...)
+	}
+	off += payloadLen
+	pubLen := int(binary.BigEndian.Uint16(data[off:]))
+	off += 2
+	if len(data) < off+pubLen+2 {
+		return nil, 0, ErrTxTruncated
+	}
+	if pubLen > 0 {
+		tx.PublicKey = append([]byte(nil), data[off:off+pubLen]...)
+	}
+	off += pubLen
+	sigLen := int(binary.BigEndian.Uint16(data[off:]))
+	off += 2
+	if len(data) < off+sigLen {
+		return nil, 0, ErrTxTruncated
+	}
+	if sigLen > 0 {
+		tx.Signature = append([]byte(nil), data[off:off+sigLen]...)
+	}
+	off += sigLen
+	return &tx, off, nil
+}

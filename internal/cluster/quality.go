@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"math"
+
+	"icistrategy/internal/simnet"
+)
+
+// Quality summarizes how latency-compact a partition is. Lower
+// MeanIntraDistance and higher Silhouette mean cheaper intra-cluster
+// communication, which is what ICIStrategy's collaborative verification
+// pays for.
+type Quality struct {
+	// MeanIntraDistance is the mean pairwise distance between members of
+	// the same cluster, averaged over all intra-cluster pairs (ms).
+	MeanIntraDistance float64
+	// MaxIntraDistance is the largest intra-cluster pairwise distance (ms).
+	MaxIntraDistance float64
+	// Silhouette is the mean silhouette coefficient in [-1, 1].
+	Silhouette float64
+	// SizeImbalance is max cluster size minus min cluster size.
+	SizeImbalance int
+}
+
+// Evaluate computes partition quality for an assignment over coords.
+func Evaluate(a *Assignment, coords []simnet.Coord) Quality {
+	var q Quality
+	var pairSum float64
+	var pairCount int
+	for _, members := range a.Members {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				d := coords[members[i]].Distance(coords[members[j]])
+				pairSum += d
+				pairCount++
+				if d > q.MaxIntraDistance {
+					q.MaxIntraDistance = d
+				}
+			}
+		}
+	}
+	if pairCount > 0 {
+		q.MeanIntraDistance = pairSum / float64(pairCount)
+	}
+	q.Silhouette = silhouette(a, coords)
+	minSize, maxSize := math.MaxInt, 0
+	for _, m := range a.Members {
+		if len(m) < minSize {
+			minSize = len(m)
+		}
+		if len(m) > maxSize {
+			maxSize = len(m)
+		}
+	}
+	if minSize == math.MaxInt {
+		minSize = 0
+	}
+	q.SizeImbalance = maxSize - minSize
+	return q
+}
+
+// silhouette computes the mean silhouette coefficient. For node i with
+// mean same-cluster distance a(i) and smallest mean other-cluster distance
+// b(i), s(i) = (b-a)/max(a,b). Singleton clusters contribute 0.
+func silhouette(asg *Assignment, coords []simnet.Coord) float64 {
+	if asg.NumClusters() < 2 {
+		return 0
+	}
+	var total float64
+	n := len(asg.ClusterOf)
+	for i := 0; i < n; i++ {
+		own := asg.ClusterOf[i]
+		if len(asg.Members[own]) <= 1 {
+			continue // s(i) = 0 by convention
+		}
+		var a float64
+		for _, j := range asg.Members[own] {
+			if j != i {
+				a += coords[i].Distance(coords[j])
+			}
+		}
+		a /= float64(len(asg.Members[own]) - 1)
+
+		b := math.Inf(1)
+		for c, members := range asg.Members {
+			if c == own || len(members) == 0 {
+				continue
+			}
+			var sum float64
+			for _, j := range members {
+				sum += coords[i].Distance(coords[j])
+			}
+			if mean := sum / float64(len(members)); mean < b {
+				b = mean
+			}
+		}
+		if denom := math.Max(a, b); denom > 0 {
+			total += (b - a) / denom
+		}
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,196 @@
+package consensus
+
+import (
+	"testing"
+
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/simnet"
+)
+
+func TestFaultBoundAndQuorum(t *testing.T) {
+	cases := []struct{ n, f, q int }{
+		{0, 0, 1}, {1, 0, 1}, {2, 0, 2}, {3, 0, 3},
+		{4, 1, 3}, {6, 1, 5}, {7, 2, 5}, {10, 3, 7},
+		{64, 21, 43}, {100, 33, 67},
+	}
+	for _, tc := range cases {
+		if got := FaultBound(tc.n); got != tc.f {
+			t.Fatalf("FaultBound(%d) = %d, want %d", tc.n, got, tc.f)
+		}
+		if got := QuorumSize(tc.n); got != tc.q {
+			t.Fatalf("QuorumSize(%d) = %d, want %d", tc.n, got, tc.q)
+		}
+	}
+}
+
+func TestQuorumMajorityOfHonest(t *testing.T) {
+	// For any n >= 4, a quorum must exceed f (so at least one honest vote)
+	// and two quorums must intersect in an honest member:
+	// 2*quorum - n > f.
+	for n := 4; n <= 300; n++ {
+		f, q := FaultBound(n), QuorumSize(n)
+		if 2*q-n <= f {
+			t.Fatalf("n=%d: quorum intersection not honest (2q-n=%d, f=%d)", n, 2*q-n, f)
+		}
+	}
+}
+
+func TestLeaderRotation(t *testing.T) {
+	members := []simnet.NodeID{10, 20, 30}
+	seen := map[simnet.NodeID]int{}
+	for h := uint64(0); h < 9; h++ {
+		l, err := Leader(members, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[l]++
+	}
+	for _, m := range members {
+		if seen[m] != 3 {
+			t.Fatalf("leader %d chosen %d times in 9 heights, want 3", m, seen[m])
+		}
+	}
+	if _, err := Leader(nil, 0); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+}
+
+func TestVoteSignatureRoundTrip(t *testing.T) {
+	key := blockcrypto.DeriveKeyPair(1, 1)
+	block := blockcrypto.Sum256([]byte("b"))
+	v := SignVote(7, block, true, key)
+	if err := VerifyVote(v, key.Public); err != nil {
+		t.Fatalf("valid vote rejected: %v", err)
+	}
+	// Flipping the verdict invalidates the signature.
+	v.Approve = false
+	if err := VerifyVote(v, key.Public); err == nil {
+		t.Fatal("verdict-flipped vote accepted")
+	}
+	v.Approve = true
+	v.Voter = 8
+	if err := VerifyVote(v, key.Public); err == nil {
+		t.Fatal("voter-swapped vote accepted")
+	}
+	v.Voter = 7
+	v.Block[0] ^= 1
+	if err := VerifyVote(v, key.Public); err == nil {
+		t.Fatal("block-swapped vote accepted")
+	}
+}
+
+func newVoteSet(t *testing.T, n int) (*VoteSet, blockcrypto.Hash, []simnet.NodeID) {
+	t.Helper()
+	block := blockcrypto.Sum256([]byte("subject"))
+	members := make([]simnet.NodeID, n)
+	for i := range members {
+		members[i] = simnet.NodeID(i + 1)
+	}
+	vs, err := NewVoteSet(block, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vs, block, members
+}
+
+func TestVoteSetCommitPath(t *testing.T) {
+	vs, block, members := newVoteSet(t, 7) // f=2, quorum=5
+	if vs.Quorum() != 5 {
+		t.Fatalf("Quorum() = %d", vs.Quorum())
+	}
+	for i := 0; i < 4; i++ {
+		d, err := vs.Add(Vote{Voter: members[i], Block: block, Approve: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != Pending {
+			t.Fatalf("decision after %d approvals = %v", i+1, d)
+		}
+	}
+	d, err := vs.Add(Vote{Voter: members[4], Block: block, Approve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != Committed {
+		t.Fatalf("decision after quorum = %v", d)
+	}
+	if vs.Approvals() != 5 || vs.Rejections() != 0 {
+		t.Fatalf("tallies: %d/%d", vs.Approvals(), vs.Rejections())
+	}
+}
+
+func TestVoteSetRejectPath(t *testing.T) {
+	vs, block, members := newVoteSet(t, 7) // rejectAt = 7-5+1 = 3
+	for i := 0; i < 2; i++ {
+		if d, _ := vs.Add(Vote{Voter: members[i], Block: block, Approve: false}); d != Pending {
+			t.Fatalf("rejected too early at %d votes", i+1)
+		}
+	}
+	d, err := vs.Add(Vote{Voter: members[2], Block: block, Approve: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != Rejected {
+		t.Fatalf("decision after 3 rejections = %v", d)
+	}
+}
+
+func TestVoteSetEquivocation(t *testing.T) {
+	vs, block, members := newVoteSet(t, 4)
+	if _, err := vs.Add(Vote{Voter: members[0], Block: block, Approve: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Same vote again: idempotent.
+	if _, err := vs.Add(Vote{Voter: members[0], Block: block, Approve: true}); err != nil {
+		t.Fatalf("idempotent re-vote errored: %v", err)
+	}
+	// Flipped vote: equivocation.
+	if _, err := vs.Add(Vote{Voter: members[0], Block: block, Approve: false}); err == nil {
+		t.Fatal("equivocation accepted")
+	}
+	if vs.Approvals() != 1 {
+		t.Fatalf("Approvals() = %d after equivocation attempt", vs.Approvals())
+	}
+}
+
+func TestVoteSetRejectsOutsiders(t *testing.T) {
+	vs, block, _ := newVoteSet(t, 4)
+	if _, err := vs.Add(Vote{Voter: 999, Block: block, Approve: true}); err == nil {
+		t.Fatal("non-member vote accepted")
+	}
+}
+
+func TestVoteSetRejectsWrongSubject(t *testing.T) {
+	vs, _, members := newVoteSet(t, 4)
+	other := blockcrypto.Sum256([]byte("other block"))
+	if _, err := vs.Add(Vote{Voter: members[0], Block: other, Approve: true}); err == nil {
+		t.Fatal("vote for a different block accepted")
+	}
+}
+
+func TestVoteSetSingleton(t *testing.T) {
+	vs, block, members := newVoteSet(t, 1)
+	d, err := vs.Add(Vote{Voter: members[0], Block: block, Approve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != Committed {
+		t.Fatalf("singleton cluster did not commit on its own vote: %v", d)
+	}
+}
+
+func TestNewVoteSetEmpty(t *testing.T) {
+	if _, err := NewVoteSet(blockcrypto.ZeroHash, nil); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	for d, want := range map[Decision]string{
+		Pending: "pending", Committed: "committed", Rejected: "rejected", Decision(9): "decision(9)",
+	} {
+		if got := d.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", int(d), got, want)
+		}
+	}
+}

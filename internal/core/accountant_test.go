@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/chain"
+	"icistrategy/internal/cluster"
+	"icistrategy/internal/simnet"
+	"icistrategy/internal/strategy"
+)
+
+func testAssignment(t testing.TB, n, k int) *cluster.Assignment {
+	t.Helper()
+	coords := simnet.RandomCoords(n, 60, blockcrypto.NewRNG(11))
+	asg, err := cluster.Partition(cluster.BalancedKMeans, coords, k, blockcrypto.NewRNG(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return asg
+}
+
+func TestNewAccountantValidation(t *testing.T) {
+	if _, err := NewAccountant(nil, 1); err == nil {
+		t.Fatal("nil assignment accepted")
+	}
+	asg := testAssignment(t, 20, 4) // clusters of 5
+	for _, r := range []int{0, 6} {
+		if _, err := NewAccountant(asg, r); err == nil {
+			t.Fatalf("replication %d accepted for clusters of 5", r)
+		}
+	}
+}
+
+func TestAccountantClusterIntegrityInvariant(t *testing.T) {
+	// Sum of per-node body bytes over one cluster must equal r × total
+	// body data: the cluster holds exactly r collective copies.
+	asg := testAssignment(t, 60, 5) // clusters of 12
+	for _, r := range []int{1, 2, 3} {
+		acc, err := NewAccountant(asg, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for b := 0; b < 30; b++ {
+			size := int64(10_000 + b*137)
+			acc.AddBlock(size)
+			total += size
+		}
+		if acc.TotalBodyBytes() != total {
+			t.Fatalf("TotalBodyBytes() = %d, want %d", acc.TotalBodyBytes(), total)
+		}
+		headerCost := int64(acc.NumBlocks()) * int64(chain.HeaderSize)
+		for c := 0; c < asg.NumClusters(); c++ {
+			var sum int64
+			for _, m := range asg.Members[c] {
+				nb, err := acc.NodeBytes(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum += nb - headerCost
+			}
+			if sum != int64(r)*total {
+				t.Fatalf("r=%d cluster %d stores %d body bytes, want %d", r, c, sum, int64(r)*total)
+			}
+		}
+	}
+}
+
+func TestAccountantHeadlineRatio(t *testing.T) {
+	// The paper's configuration rounded to powers of two: RapidChain with
+	// committees of 256 over n=4096 (k=16 shards) vs ICI clusters of 64
+	// with r=1 — ICI per-node storage must be 25% of RapidChain's
+	// (exactly D/64 vs D/16 on bodies).
+	const n = 4096
+	asgICI := testAssignment(t, n, n/64)
+	acc, err := NewAccountant(asgICI, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const blockSize = 1 << 20
+	for b := 0; b < 64; b++ {
+		acc.AddBlock(blockSize)
+	}
+	meanICI, err := strategy.MeanNodeBytes(acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerCost := float64(acc.NumBlocks() * chain.HeaderSize)
+	bodyICI := meanICI - headerCost
+	totalBody := float64(64 * blockSize)
+	// Mean per-node body bytes = D/64 exactly (each cluster of 64 stores D).
+	if ratio := bodyICI / (totalBody / 64); ratio < 0.999 || ratio > 1.001 {
+		t.Fatalf("ICI mean body bytes off: got %.0f want %.0f", bodyICI, totalBody/64)
+	}
+	// RapidChain per-node = D/16; ratio = (D/64)/(D/16) = 0.25.
+	rapidPerNode := totalBody / 16
+	if ratio := bodyICI / rapidPerNode; ratio < 0.24 || ratio > 0.26 {
+		t.Fatalf("headline ratio = %.4f, want ~0.25", ratio)
+	}
+}
+
+func TestAccountantBootstrapEqualsFootprint(t *testing.T) {
+	asg := testAssignment(t, 30, 3)
+	acc, err := NewAccountant(asg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 10; b++ {
+		acc.AddBlock(5000)
+	}
+	for i := 0; i < acc.NumNodes(); i++ {
+		nb, _ := acc.NodeBytes(i)
+		bb, _ := acc.BootstrapBytes(i)
+		if nb != bb {
+			t.Fatalf("node %d: NodeBytes %d != BootstrapBytes %d", i, nb, bb)
+		}
+	}
+}
+
+func TestAccountantNodeBytesRange(t *testing.T) {
+	asg := testAssignment(t, 10, 2)
+	acc, _ := NewAccountant(asg, 1)
+	if _, err := acc.NodeBytes(-1); err == nil {
+		t.Fatal("negative node accepted")
+	}
+	if _, err := acc.NodeBytes(10); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestAccountantTxChunkingMatchesByteChunking(t *testing.T) {
+	// With uniform tx sizes divisible across every cluster, AddBlockTxs and
+	// AddBlockSeeded(bodySize) must agree except for the 4-byte chunk count
+	// prefixes AddBlockTxs accounts explicitly.
+	asg := testAssignment(t, 12, 2) // clusters of 6
+	a1, err := NewAccountant(asg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewAccountant(asg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const txSize, txCount = 250, 60 // divisible by 6
+	txSizes := make([]int, txCount)
+	for i := range txSizes {
+		txSizes[i] = txSize
+	}
+	a1.AddBlockTxs(99, txSizes)
+	// Equivalent byte body: per-cluster chunk gets txCount/6*txSize bytes,
+	// +4 prefix accounted manually below.
+	a2.AddBlockSeeded(99, txSize*txCount)
+	for i := 0; i < 12; i++ {
+		b1, _ := a1.NodeBytes(i)
+		b2, _ := a2.NodeBytes(i)
+		diff := b1 - b2
+		// Every chunk a node owns contributes exactly the 4-byte prefix.
+		if diff < 0 || diff%4 != 0 {
+			t.Fatalf("node %d: tx-exact %d vs byte-model %d", i, b1, b2)
+		}
+	}
+}
+
+func TestAccountantName(t *testing.T) {
+	asg := testAssignment(t, 6, 2)
+	acc, _ := NewAccountant(asg, 1)
+	if acc.Name() != "ici" {
+		t.Fatalf("Name() = %q", acc.Name())
+	}
+	if acc.Replication() != 1 {
+		t.Fatalf("Replication() = %d", acc.Replication())
+	}
+}
+
+func BenchmarkAccountantAddBlock4000x64(b *testing.B) {
+	asg := testAssignment(b, 4000, 62)
+	acc, err := NewAccountant(asg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.AddBlock(1 << 20)
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/chain"
+	"icistrategy/internal/consensus"
+	"icistrategy/internal/simnet"
+)
+
+// Message kinds of the ICIStrategy protocol. Every kind maps to one payload
+// type below; sizes are the wire sizes used for traffic accounting.
+const (
+	// KindPropose carries a full block from the producer to each cluster
+	// leader.
+	KindPropose = "ici/propose"
+	// KindChunk carries one chunk (a transaction group with Merkle proofs)
+	// from a cluster leader to a chunk owner.
+	KindChunk = "ici/chunk"
+	// KindVote carries a member's signed verdict back to the leader.
+	KindVote = "ici/vote"
+	// KindCommit carries the leader's commit certificate to cluster members.
+	KindCommit = "ici/commit"
+	// KindGetHeaders / KindHeaders implement the header sync of the
+	// bootstrap protocol.
+	KindGetHeaders = "ici/get-headers"
+	KindHeaders    = "ici/headers"
+	// KindGetChunk / KindChunkResp fetch one stored chunk with its proofs
+	// (bootstrap and repair).
+	KindGetChunk  = "ici/get-chunk"
+	KindChunkResp = "ici/chunk-resp"
+	// KindGetBlockChunks / KindBlockChunks fetch all chunks a member holds
+	// for a block (full-block retrieval).
+	KindGetBlockChunks = "ici/get-block-chunks"
+	KindBlockChunks    = "ici/block-chunks"
+)
+
+// reqOverhead is the wire size of a small request (kind tag, block hash,
+// indexes); one size for all control requests keeps accounting simple.
+const reqOverhead = 48
+
+// proposeMsg is the payload of KindPropose.
+type proposeMsg struct {
+	Block *chain.Block
+}
+
+func (m proposeMsg) wireSize() int {
+	return chain.HeaderSize + m.Block.BodySize()
+}
+
+// chunkPayload is one distributed chunk: a contiguous transaction group of
+// the block plus the Merkle proof of every transaction in it.
+type chunkPayload struct {
+	Header  chain.Header
+	PartIdx int // chunk index within the block
+	Parts   int // total chunks the block was split into
+	TxStart int // index of the first transaction in the group
+	Txs     []*chain.Transaction
+	Proofs  []chain.Proof // Proofs[i] proves Txs[i] under Header.MerkleRoot
+}
+
+// dataBytes is the chunk's storable payload size (what counts as storage).
+func (c chunkPayload) dataBytes() int {
+	n := 4
+	for _, tx := range c.Txs {
+		n += tx.EncodedSize()
+	}
+	return n
+}
+
+// proofBytes is the wire/storage size of the attached proofs.
+func (c chunkPayload) proofBytes() int {
+	n := 0
+	for _, p := range c.Proofs {
+		n += p.EncodedSize()
+	}
+	return n
+}
+
+func (c chunkPayload) wireSize() int {
+	return chain.HeaderSize + 16 + c.dataBytes() + c.proofBytes()
+}
+
+// encodeChunkData serializes the transaction group in the same format as a
+// block sub-body, which is what owners persist.
+func (c chunkPayload) encodeChunkData() []byte {
+	sub := chain.Block{Txs: c.Txs}
+	return sub.EncodeBody()
+}
+
+// commitMsg is the payload of KindCommit: the leader's proof that every
+// chunk of the block was verified by a quorum of its assignees.
+type commitMsg struct {
+	Header chain.Header
+	Parts  int
+	Votes  []consensus.Vote
+}
+
+func (m commitMsg) wireSize() int {
+	return chain.HeaderSize + 8 + len(m.Votes)*consensus.EncodedVoteSize
+}
+
+// getHeadersMsg asks a sponsor for all headers above FromHeight.
+type getHeadersMsg struct {
+	FromHeight uint64
+}
+
+// headersMsg returns the sponsor's headers in chain order.
+type headersMsg struct {
+	Headers []chain.Header
+}
+
+func (m headersMsg) wireSize() int { return len(m.Headers) * chain.HeaderSize }
+
+// getChunkMsg asks an owner for one chunk of one block.
+type getChunkMsg struct {
+	Block blockcrypto.Hash
+	Idx   int
+	// ReqID correlates the response with the requester's pending fetch.
+	ReqID uint64
+}
+
+// chunkRespMsg returns a stored chunk with its proofs (empty Txs when the
+// responder does not hold it).
+type chunkRespMsg struct {
+	Block blockcrypto.Hash
+	ReqID uint64
+	Found bool
+	Chunk chunkPayload
+}
+
+func (m chunkRespMsg) wireSize() int {
+	if !m.Found {
+		return reqOverhead
+	}
+	return m.Chunk.wireSize()
+}
+
+// getBlockChunksMsg asks a member for every chunk it holds of one block.
+type getBlockChunksMsg struct {
+	Block blockcrypto.Hash
+	ReqID uint64
+}
+
+// blockChunksMsg returns all held chunks of a block, without proofs — a
+// full-block reassembly is verified against the Merkle root directly.
+type blockChunksMsg struct {
+	Block blockcrypto.Hash
+	ReqID uint64
+	// Parts is the chunk count the block was stored with.
+	Parts  int
+	Chunks []retrievedChunk
+}
+
+// retrievedChunk is one chunk's content for reassembly: a transaction
+// group for live blocks, or a raw Reed-Solomon share for archived ones.
+type retrievedChunk struct {
+	Idx     int
+	TxStart int
+	Txs     []*chain.Transaction
+	Coded   bool
+	Raw     []byte
+}
+
+func (m blockChunksMsg) wireSize() int {
+	n := reqOverhead
+	for _, c := range m.Chunks {
+		n += 4 + len(c.Raw)
+		for _, tx := range c.Txs {
+			n += tx.EncodedSize()
+		}
+	}
+	return n
+}
+
+// clusterInfo is the static membership view of one cluster that every node
+// in the simulation shares (membership changes go through System, which
+// rebuilds these views).
+type clusterInfo struct {
+	index   int
+	members []simnet.NodeID // sorted ascending
+	// epochs records chunk-count changes caused by membership changes;
+	// see clusterInfo.partsAt in system.go.
+	epochs []partsEpoch
+	// archived records blocks converted to coded storage (see archive.go).
+	// Like membership, it is a shared cluster view; a real deployment
+	// would record archival decisions on the membership chain.
+	archived map[blockcrypto.Hash]archiveInfo
+}
+
+// leaderAt returns the cluster's leader for the given height.
+func (c *clusterInfo) leaderAt(height uint64) (simnet.NodeID, error) {
+	return consensus.Leader(c.members, height)
+}

@@ -1,0 +1,591 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/chain"
+	"icistrategy/internal/consensus"
+	"icistrategy/internal/simnet"
+	"icistrategy/internal/storage"
+)
+
+// Protocol errors surfaced through completion callbacks.
+var (
+	ErrUnknownBlock    = errors.New("core: block header not known")
+	ErrRetrieveFailed  = errors.New("core: could not gather all chunks")
+	ErrBootstrapFailed = errors.New("core: bootstrap incomplete")
+	ErrChunkLost       = errors.New("core: chunk unrecoverable inside cluster")
+)
+
+// fetchTimeout bounds how long (virtual time) an async fetch waits before
+// reporting failure.
+const fetchTimeout = 30 * time.Second
+
+// Behavior configures fault injection for a node, used by the robustness
+// tests and the failure experiments.
+type Behavior struct {
+	// VoteReject makes the node vote against every block (Byzantine).
+	VoteReject bool
+	// DropVotes makes the node never send votes (crash-ish).
+	DropVotes bool
+	// TamperChunks makes the node, when leading, corrupt the first
+	// transaction of every chunk it distributes (Byzantine leader).
+	TamperChunks bool
+}
+
+// chunkMeta is the sidecar state an owner keeps next to a stored chunk so
+// it can serve verifiable fetches and reassemblies.
+type chunkMeta struct {
+	txStart int
+	parts   int
+	proofs  []chain.Proof
+	// coded marks a Reed-Solomon byte share produced by archival; codedK
+	// is the data-share threshold needed to reconstruct the block.
+	coded  bool
+	codedK int
+}
+
+// coverInterval is the virtual-time cadence at which a leader re-checks
+// chunk coverage and reassigns chunks whose owners stayed silent. It is
+// deliberately generous so that failure-free distribution (even of MB-scale
+// blocks over 20 Mbit/s links) always completes before the first check —
+// rejections reassign immediately and do not wait for this timer.
+const coverInterval = 2 * time.Second
+
+// leaderState tracks one block the node is currently leading.
+type leaderState struct {
+	block    *chain.Block
+	seed     uint64
+	table    *consensus.ChunkTable
+	payloads []chunkPayload
+	// assigned[i] is the set of members currently asked to verify chunk i.
+	assigned []map[simnet.NodeID]bool
+	// ranking[i] is the full rendezvous fallback order for chunk i;
+	// nextCand[i] is the next ranking position to try.
+	ranking   [][]simnet.NodeID
+	nextCand  []int
+	pool      []consensus.Vote // valid approve votes collected so far
+	rounds    int
+	committed bool
+	rejected  bool
+}
+
+// fetchState tracks one async multi-message operation (retrieval,
+// bootstrap chunk fetch).
+type fetchState struct {
+	block     blockcrypto.Hash
+	parts     int // 0 until learned
+	codedK    int // >0 for archived-block retrievals
+	chunks    map[int]retrievedChunk
+	waiting   int             // outstanding responses
+	remaining []simnet.NodeID // fallback owners for single-chunk fetches
+	idx       int             // chunk index for single-chunk fetches
+	done      bool
+	onBlock   func(*chain.Block, error)
+	onChunk   func(error)
+}
+
+// Node is one ICIStrategy participant. Nodes are driven entirely by the
+// simulated network: HandleMessage is the single entry point. Not safe for
+// concurrent use (the simulator is single-threaded).
+type Node struct {
+	id         simnet.NodeID
+	cluster    *clusterInfo
+	key        blockcrypto.KeyPair
+	registry   func(simnet.NodeID) []byte // public key lookup
+	store      *storage.Store
+	meta       map[storage.ChunkID]chunkMeta
+	proofBytes int64
+
+	replication int
+	behavior    Behavior
+
+	leading map[blockcrypto.Hash]*leaderState
+	pending map[blockcrypto.Hash][]chunkPayload
+
+	fetches   map[uint64]*fetchState
+	txQueries map[uint64]*txQueryState
+	nextReq   uint64
+	bootstrap *bootstrapState
+
+	// committedHeights counts blocks this node has finalized, for tests
+	// and throughput accounting.
+	committed int
+}
+
+// newNode wires a node; System owns construction.
+func newNode(id simnet.NodeID, ci *clusterInfo, key blockcrypto.KeyPair, replication int, registry func(simnet.NodeID) []byte) *Node {
+	return &Node{
+		id:          id,
+		cluster:     ci,
+		key:         key,
+		registry:    registry,
+		store:       storage.NewStore(),
+		meta:        make(map[storage.ChunkID]chunkMeta),
+		replication: replication,
+		leading:     make(map[blockcrypto.Hash]*leaderState),
+		pending:     make(map[blockcrypto.Hash][]chunkPayload),
+		fetches:     make(map[uint64]*fetchState),
+		txQueries:   make(map[uint64]*txQueryState),
+	}
+}
+
+// ID returns the node's network identity.
+func (n *Node) ID() simnet.NodeID { return n.id }
+
+// Store exposes the node's local store (read-only use by experiments).
+func (n *Node) Store() *storage.Store { return n.store }
+
+// ProofBytes returns the bytes of Merkle proofs kept alongside chunks.
+func (n *Node) ProofBytes() int64 { return n.proofBytes }
+
+// CommittedBlocks returns how many blocks this node has finalized.
+func (n *Node) CommittedBlocks() int { return n.committed }
+
+// SetBehavior installs fault injection.
+func (n *Node) SetBehavior(b Behavior) { n.behavior = b }
+
+// HandleMessage implements simnet.Handler.
+func (n *Node) HandleMessage(net *simnet.Network, msg simnet.Message) {
+	switch msg.Kind {
+	case KindPropose:
+		if m, ok := msg.Payload.(proposeMsg); ok {
+			n.onPropose(net, m)
+		}
+	case KindChunk:
+		if m, ok := msg.Payload.(chunkPayload); ok {
+			n.onChunk(net, msg.From, m)
+		}
+	case KindVote:
+		if m, ok := msg.Payload.(consensus.Vote); ok {
+			n.onVote(net, m)
+		}
+	case KindCommit:
+		if m, ok := msg.Payload.(commitMsg); ok {
+			n.onCommit(m)
+		}
+	case KindGetHeaders:
+		if m, ok := msg.Payload.(getHeadersMsg); ok {
+			n.onGetHeaders(net, msg.From, m)
+		}
+	case KindHeaders:
+		if m, ok := msg.Payload.(headersMsg); ok {
+			n.onHeaders(net, m)
+		}
+	case KindGetChunk:
+		if m, ok := msg.Payload.(getChunkMsg); ok {
+			n.onGetChunk(net, msg.From, m)
+		}
+	case KindChunkResp:
+		if m, ok := msg.Payload.(chunkRespMsg); ok {
+			n.onChunkResp(net, m)
+		}
+	case KindGetBlockChunks:
+		if m, ok := msg.Payload.(getBlockChunksMsg); ok {
+			n.onGetBlockChunks(net, msg.From, m)
+		}
+	case KindBlockChunks:
+		if m, ok := msg.Payload.(blockChunksMsg); ok {
+			n.onBlockChunks(m)
+		}
+	case KindGetTxProof:
+		if m, ok := msg.Payload.(getTxProofMsg); ok {
+			n.onGetTxProof(net, msg.From, m)
+		}
+	case KindTxProof:
+		if m, ok := msg.Payload.(txProofMsg); ok {
+			n.onTxProof(m)
+		}
+	case KindArchiveShare:
+		if m, ok := msg.Payload.(archiveShareMsg); ok {
+			n.onArchiveShare(net, m)
+		}
+	}
+}
+
+var _ simnet.Handler = (*Node)(nil)
+
+// --- distribution: leader side ---------------------------------------------
+
+// onPropose runs on the cluster leader when the producer hands it a new
+// block: split into chunks, attach proofs, send each chunk to its owners,
+// and start per-chunk vote aggregation. The leader deliberately does not
+// verify transaction signatures itself — that is the collaborative part:
+// every transaction is verified by the owners of its chunk, and the block
+// commits once every chunk is covered by a quorum of approvals.
+func (n *Node) onPropose(net *simnet.Network, m proposeMsg) {
+	b := m.Block
+	hash := b.Hash()
+	if _, ok := n.leading[hash]; ok {
+		return // duplicate proposal
+	}
+	if err := b.VerifyShape(); err != nil {
+		return // malformed block: never enters voting
+	}
+	tree, err := chain.TxMerkleTree(b.Txs)
+	if err != nil {
+		return
+	}
+	parts := len(n.cluster.members)
+	counts, err := SplitCounts(len(b.Txs), parts)
+	if err != nil {
+		return
+	}
+	table, err := consensus.NewChunkTable(hash, parts, parts, n.replication)
+	if err != nil {
+		return
+	}
+	seed := hash.Uint64()
+	st := &leaderState{
+		block:    b,
+		seed:     seed,
+		table:    table,
+		payloads: make([]chunkPayload, parts),
+		assigned: make([]map[simnet.NodeID]bool, parts),
+		ranking:  make([][]simnet.NodeID, parts),
+		nextCand: make([]int, parts),
+	}
+	n.leading[hash] = st
+
+	txStart := 0
+	for idx := 0; idx < parts; idx++ {
+		cnt := counts[idx]
+		group := b.Txs[txStart : txStart+cnt]
+		proofs := make([]chain.Proof, len(group))
+		for i := range group {
+			p, perr := tree.Prove(txStart + i)
+			if perr != nil {
+				return
+			}
+			proofs[i] = p
+		}
+		payload := chunkPayload{
+			Header:  b.Header,
+			PartIdx: idx,
+			Parts:   parts,
+			TxStart: txStart,
+			Txs:     group,
+			Proofs:  proofs,
+		}
+		if n.behavior.TamperChunks && len(group) > 0 {
+			tampered := *group[0]
+			tampered.Amount++
+			mut := append([]*chain.Transaction(nil), group...)
+			mut[0] = &tampered
+			payload.Txs = mut
+		}
+		st.payloads[idx] = payload
+		ranked, rerr := RankedMembers(seed, n.cluster.members, idx)
+		if rerr != nil {
+			return
+		}
+		st.ranking[idx] = ranked
+		st.assigned[idx] = make(map[simnet.NodeID]bool, n.replication)
+		st.nextCand[idx] = n.replication
+		for _, o := range ranked[:n.replication] {
+			st.assigned[idx][o] = true
+			n.sendChunk(net, o, payload)
+		}
+		txStart += cnt
+	}
+	net.After(coverInterval, func() { n.coverageCheck(net, hash) })
+}
+
+// sendChunk delivers a chunk to one member (locally when the leader owns
+// it).
+func (n *Node) sendChunk(net *simnet.Network, to simnet.NodeID, payload chunkPayload) {
+	if to == n.id {
+		n.onChunk(net, n.id, payload)
+		return
+	}
+	_ = net.Send(simnet.Message{
+		From: n.id, To: to, Kind: KindChunk,
+		Size: payload.wireSize(), Payload: payload,
+	})
+}
+
+// coverageCheck walks uncovered chunks and extends their assignment down
+// the rendezvous ranking, bounded to one full pass over the membership.
+func (n *Node) coverageCheck(net *simnet.Network, block blockcrypto.Hash) {
+	st, ok := n.leading[block]
+	if !ok || st.committed || st.rejected {
+		return
+	}
+	st.rounds++
+	if st.rounds > len(n.cluster.members) {
+		return // candidates exhausted; the block stays uncommitted here
+	}
+	for _, idx := range st.table.Uncovered() {
+		n.reassignChunk(net, st, idx)
+	}
+	net.After(coverInterval, func() { n.coverageCheck(net, block) })
+}
+
+// reassignChunk asks the next-ranked member to verify chunk idx.
+func (n *Node) reassignChunk(net *simnet.Network, st *leaderState, idx int) {
+	for st.nextCand[idx] < len(st.ranking[idx]) {
+		cand := st.ranking[idx][st.nextCand[idx]]
+		st.nextCand[idx]++
+		if st.assigned[idx][cand] {
+			continue
+		}
+		st.assigned[idx][cand] = true
+		n.sendChunk(net, cand, st.payloads[idx])
+		return
+	}
+}
+
+// --- distribution: member side ----------------------------------------------
+
+// verifyChunk checks everything a member can check about its share: proof
+// indices, Merkle membership under the header root, and every transaction
+// signature.
+func verifyChunk(c chunkPayload) error {
+	if len(c.Txs) != len(c.Proofs) {
+		return fmt.Errorf("core: %d txs with %d proofs", len(c.Txs), len(c.Proofs))
+	}
+	for i, tx := range c.Txs {
+		if c.Proofs[i].LeafIndex != c.TxStart+i {
+			return fmt.Errorf("core: proof %d has leaf index %d, want %d", i, c.Proofs[i].LeafIndex, c.TxStart+i)
+		}
+		if err := chain.VerifyProof(c.Header.MerkleRoot, tx.ID(), c.Proofs[i]); err != nil {
+			return fmt.Errorf("core: tx %d proof: %w", c.TxStart+i, err)
+		}
+		if err := tx.VerifySignature(); err != nil {
+			return fmt.Errorf("core: tx %d: %w", c.TxStart+i, err)
+		}
+	}
+	return nil
+}
+
+// onChunk runs on a chunk assignee: verify the share and vote on exactly
+// the chunk received.
+func (n *Node) onChunk(net *simnet.Network, leader simnet.NodeID, c chunkPayload) {
+	hash := c.Header.Hash()
+	approve := verifyChunk(c) == nil
+	if approve {
+		if n.store.HasHeader(hash) {
+			// Commit already happened (late reassignment): persist now.
+			n.persistChunk(hash, c)
+		} else {
+			n.pending[hash] = append(n.pending[hash], c)
+		}
+	}
+	if n.behavior.DropVotes {
+		return
+	}
+	if n.behavior.VoteReject {
+		approve = false
+	}
+	vote := consensus.SignChunkVote(n.id, hash, c.PartIdx, approve, n.key)
+	if leader == n.id {
+		n.onVote(net, vote)
+		return
+	}
+	_ = net.Send(simnet.Message{
+		From: n.id, To: leader, Kind: KindVote,
+		Size: consensus.EncodedVoteSize, Payload: vote,
+	})
+}
+
+// onVote runs on the leader: aggregate per-chunk votes; commit when every
+// chunk is covered, reject when any chunk accumulates a Byzantine-proof
+// number of rejections, and reassign a chunk immediately when an assignee
+// rejects it.
+func (n *Node) onVote(net *simnet.Network, v consensus.Vote) {
+	st, ok := n.leading[v.Block]
+	if !ok || st.committed || st.rejected {
+		return
+	}
+	if v.ChunkIdx < 0 || v.ChunkIdx >= len(st.assigned) {
+		return
+	}
+	if !st.assigned[v.ChunkIdx][v.Voter] {
+		return // votes from members never assigned the chunk carry no weight
+	}
+	pub := n.registry(v.Voter)
+	if pub == nil || consensus.VerifyVote(v, pub) != nil {
+		return // unverifiable votes are ignored
+	}
+	decision, err := st.table.Add(v)
+	if err != nil {
+		return // equivocation: drop
+	}
+	if v.Approve {
+		st.pool = append(st.pool, v)
+	} else if decision == consensus.Pending {
+		// An assignee rejected its chunk: walk to the next candidate right
+		// away rather than waiting for the coverage timer.
+		n.reassignChunk(net, st, v.ChunkIdx)
+	}
+	switch decision {
+	case consensus.Rejected:
+		st.rejected = true
+	case consensus.Committed:
+		cert, ok := st.table.ApprovalCertificate(st.pool)
+		if !ok {
+			return // unreachable: Committed implies a coverable pool
+		}
+		st.committed = true
+		msg := commitMsg{Header: st.block.Header, Parts: st.table.Parts(), Votes: cert}
+		for _, m := range n.cluster.members {
+			if m == n.id {
+				continue
+			}
+			_ = net.Send(simnet.Message{
+				From: n.id, To: m, Kind: KindCommit,
+				Size: msg.wireSize(), Payload: msg,
+			})
+		}
+		n.onCommit(msg)
+	}
+}
+
+// verifyCommit validates a commit certificate: every chunk of the block is
+// covered by quorum-many valid approvals from cluster members.
+func (n *Node) verifyCommit(m commitMsg) error {
+	return consensus.VerifyCertificate(
+		m.Header.Hash(), m.Parts, len(n.cluster.members), n.replication, m.Votes,
+		func(id simnet.NodeID) bool { return memberOf(n.cluster.members, id) },
+		n.registry,
+	)
+}
+
+func memberOf(members []simnet.NodeID, id simnet.NodeID) bool {
+	for _, m := range members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// onCommit finalizes a block: store the header and persist any pending
+// chunks this node owns.
+func (n *Node) onCommit(m commitMsg) {
+	if err := n.verifyCommit(m); err != nil {
+		return
+	}
+	hash := m.Header.Hash()
+	if n.store.HasHeader(hash) {
+		return
+	}
+	n.store.PutHeader(m.Header)
+	n.committed++
+	for _, c := range n.pending[hash] {
+		n.persistChunk(hash, c)
+	}
+	delete(n.pending, hash)
+	delete(n.leading, hash)
+	n.sweepStale(m.Header.Height)
+}
+
+// staleWindow is how many heights behind the committed tip pending and
+// leader state may linger before being dropped. Blocks commit in height
+// order, so anything far below the tip is a rejected or abandoned proposal
+// that would otherwise leak memory.
+const staleWindow = 8
+
+// sweepStale drops pending chunks and leader state of long-dead proposals.
+func (n *Node) sweepStale(committedHeight uint64) {
+	if committedHeight < staleWindow {
+		return
+	}
+	cutoff := committedHeight - staleWindow
+	for hash, chunks := range n.pending {
+		if len(chunks) > 0 && chunks[0].Header.Height < cutoff {
+			delete(n.pending, hash)
+		}
+	}
+	for hash, st := range n.leading {
+		if st.block.Header.Height < cutoff {
+			delete(n.leading, hash)
+		}
+	}
+}
+
+// persistChunk stores a verified chunk and its sidecar metadata.
+func (n *Node) persistChunk(block blockcrypto.Hash, c chunkPayload) {
+	id := storage.ChunkID{Block: block, Index: c.PartIdx}
+	if n.store.HasChunk(id) {
+		return
+	}
+	if err := n.store.PutChunk(storage.NewChunk(id, c.encodeChunkData())); err != nil {
+		return
+	}
+	n.meta[id] = chunkMeta{txStart: c.TxStart, parts: c.Parts, proofs: c.Proofs}
+	n.proofBytes += int64(c.proofBytes())
+}
+
+// --- serving ---------------------------------------------------------------
+
+func (n *Node) onGetHeaders(net *simnet.Network, from simnet.NodeID, m getHeadersMsg) {
+	all := n.store.Headers()
+	out := make([]chain.Header, 0, len(all))
+	for _, h := range all {
+		if h.Height >= m.FromHeight {
+			out = append(out, h)
+		}
+	}
+	resp := headersMsg{Headers: out}
+	_ = net.Send(simnet.Message{
+		From: n.id, To: from, Kind: KindHeaders,
+		Size: resp.wireSize(), Payload: resp,
+	})
+}
+
+func (n *Node) onGetChunk(net *simnet.Network, from simnet.NodeID, m getChunkMsg) {
+	id := storage.ChunkID{Block: m.Block, Index: m.Idx}
+	resp := chunkRespMsg{Block: m.Block, ReqID: m.ReqID}
+	if chk, err := n.store.Chunk(id); err == nil {
+		meta := n.meta[id]
+		if txs, derr := chain.DecodeBody(chk.Data); derr == nil {
+			hdr, herr := n.store.Header(m.Block)
+			if herr == nil {
+				resp.Found = true
+				resp.Chunk = chunkPayload{
+					Header:  hdr,
+					PartIdx: m.Idx,
+					Parts:   meta.parts,
+					TxStart: meta.txStart,
+					Txs:     txs,
+					Proofs:  meta.proofs,
+				}
+			}
+		}
+	}
+	_ = net.Send(simnet.Message{
+		From: n.id, To: from, Kind: KindChunkResp,
+		Size: resp.wireSize(), Payload: resp,
+	})
+}
+
+func (n *Node) onGetBlockChunks(net *simnet.Network, from simnet.NodeID, m getBlockChunksMsg) {
+	resp := blockChunksMsg{Block: m.Block, ReqID: m.ReqID}
+	for _, idx := range n.store.ChunksForBlock(m.Block) {
+		id := storage.ChunkID{Block: m.Block, Index: idx}
+		chk, err := n.store.Chunk(id)
+		if err != nil {
+			continue // corrupted chunk: withhold rather than poison
+		}
+		meta := n.meta[id]
+		if meta.coded {
+			resp.Parts = meta.parts
+			resp.Chunks = append(resp.Chunks, retrievedChunk{Idx: idx, Coded: true, Raw: chk.Data})
+			continue
+		}
+		txs, derr := chain.DecodeBody(chk.Data)
+		if derr != nil {
+			continue
+		}
+		resp.Parts = meta.parts
+		resp.Chunks = append(resp.Chunks, retrievedChunk{Idx: idx, TxStart: meta.txStart, Txs: txs})
+	}
+	_ = net.Send(simnet.Message{
+		From: n.id, To: from, Kind: KindBlockChunks,
+		Size: resp.wireSize(), Payload: resp,
+	})
+}

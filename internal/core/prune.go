@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"icistrategy/internal/storage"
+)
+
+// PruneUnowned garbage-collects every chunk this node stores but no longer
+// owns under the current membership and archival records. Membership
+// changes hand chunks to new owners without deleting the old copies (the
+// repair path wants those extra sources); pruning is the explicit second
+// phase that reclaims the space once the cluster is healthy again. It
+// returns the number of bytes freed.
+func (n *Node) PruneUnowned() int64 {
+	freed := n.store.GC(func(id storage.ChunkID) bool {
+		hdr, err := n.store.Header(id.Block)
+		if err != nil {
+			return false // orphaned chunk without a header: collect
+		}
+		if info, archived := n.cluster.archivedInfo(id.Block); archived {
+			meta := n.meta[id]
+			if !meta.coded {
+				return false // stale replicated chunk of an archived block
+			}
+			owners, oerr := Owners(info.seed, n.cluster.members, id.Index, 1)
+			if oerr != nil {
+				return true // cannot evaluate: keep conservatively
+			}
+			return memberOf(owners, n.id)
+		}
+		parts := n.cluster.partsAt(hdr.Height)
+		if id.Index >= parts {
+			return false // impossible index under this epoch: collect
+		}
+		owns, oerr := IsOwner(id.Block.Uint64(), n.cluster.members, id.Index, n.replication, n.id)
+		if oerr != nil {
+			return true
+		}
+		return owns
+	})
+	// Sweep the sidecar metadata of collected chunks.
+	for id, meta := range n.meta {
+		if n.store.HasChunk(id) {
+			continue
+		}
+		for _, p := range meta.proofs {
+			n.proofBytes -= int64(p.EncodedSize())
+		}
+		delete(n.meta, id)
+	}
+	return freed
+}
+
+// PruneCluster prunes every live member of cluster c and returns the total
+// bytes reclaimed. Run it after joins/removals have been repaired; the
+// intra-cluster integrity invariant is untouched because only redundant
+// copies are collected.
+func (s *System) PruneCluster(c int) (int64, error) {
+	if c < 0 || c >= len(s.clusters) {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownCluster, c)
+	}
+	var freed int64
+	for _, m := range s.clusters[c].members {
+		if s.net.IsDown(m) {
+			continue
+		}
+		freed += s.nodes[m].PruneUnowned()
+	}
+	return freed, nil
+}

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/chain"
+	"icistrategy/internal/simnet"
+	"icistrategy/internal/storage"
+)
+
+// RetrieveBlock reassembles a full historical block from the chunks held by
+// this node's cluster. cb is invoked exactly once, with the verified block
+// or an error. This is the read path a light client or application would
+// use against an ICIStrategy cluster.
+func (n *Node) RetrieveBlock(net *simnet.Network, block blockcrypto.Hash, cb func(*chain.Block, error)) {
+	if !n.store.HasHeader(block) {
+		cb(nil, fmt.Errorf("%w: %s", ErrUnknownBlock, block.Short()))
+		return
+	}
+	n.nextReq++
+	req := n.nextReq
+	st := &fetchState{
+		block:   block,
+		chunks:  make(map[int]retrievedChunk),
+		onBlock: cb,
+	}
+	n.fetches[req] = st
+
+	// Seed with local chunks.
+	for _, idx := range n.store.ChunksForBlock(block) {
+		id := storage.ChunkID{Block: block, Index: idx}
+		chk, err := n.store.Chunk(id)
+		if err != nil {
+			continue
+		}
+		meta := n.meta[id]
+		if txs, derr := chain.DecodeBody(chk.Data); derr == nil {
+			st.parts = meta.parts
+			st.chunks[idx] = retrievedChunk{Idx: idx, TxStart: meta.txStart, Txs: txs}
+		}
+	}
+	if n.tryFinishRetrieve(req, st) {
+		return
+	}
+	for _, m := range n.cluster.members {
+		if m == n.id {
+			continue
+		}
+		st.waiting++
+		_ = net.Send(simnet.Message{
+			From: n.id, To: m, Kind: KindGetBlockChunks,
+			Size: reqOverhead, Payload: getBlockChunksMsg{Block: block, ReqID: req},
+		})
+	}
+	if st.waiting == 0 {
+		n.failFetch(req, st, ErrRetrieveFailed)
+		return
+	}
+	net.After(fetchTimeout, func() {
+		if cur, ok := n.fetches[req]; ok && !cur.done {
+			n.failFetch(req, cur, ErrRetrieveFailed)
+		}
+	})
+}
+
+// onBlockChunks consumes one member's contribution to a retrieval.
+func (n *Node) onBlockChunks(m blockChunksMsg) {
+	st, ok := n.fetches[m.ReqID]
+	if !ok || st.done || st.block != m.Block {
+		return
+	}
+	st.waiting--
+	if m.Parts > 0 && st.codedK == 0 {
+		st.parts = m.Parts
+	}
+	for _, c := range m.Chunks {
+		if c.Coded != (st.codedK > 0) {
+			continue // a stale member answering in the other storage mode
+		}
+		if _, have := st.chunks[c.Idx]; !have {
+			st.chunks[c.Idx] = c
+		}
+	}
+	finished := false
+	if st.codedK > 0 {
+		finished = n.tryFinishCodedRetrieve(m.ReqID, st)
+	} else {
+		finished = n.tryFinishRetrieve(m.ReqID, st)
+	}
+	if finished {
+		return
+	}
+	if st.waiting == 0 {
+		n.failFetch(m.ReqID, st, ErrRetrieveFailed)
+	}
+}
+
+// tryFinishRetrieve reassembles and verifies once every chunk is present.
+func (n *Node) tryFinishRetrieve(req uint64, st *fetchState) bool {
+	if st.onBlock == nil || st.parts == 0 || len(st.chunks) < st.parts {
+		return false
+	}
+	idxs := make([]int, 0, len(st.chunks))
+	for i := range st.chunks {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	var txs []*chain.Transaction
+	for _, i := range idxs {
+		txs = append(txs, st.chunks[i].Txs...)
+	}
+	hdr, err := n.store.Header(st.block)
+	if err != nil {
+		n.failFetch(req, st, err)
+		return true
+	}
+	b := &chain.Block{Header: hdr, Txs: txs}
+	if err := b.VerifyShape(); err != nil {
+		// Root mismatch: some member served corrupt or misordered data.
+		n.failFetch(req, st, fmt.Errorf("%w: %v", ErrRetrieveFailed, err))
+		return true
+	}
+	st.done = true
+	delete(n.fetches, req)
+	st.onBlock(b, nil)
+	return true
+}
+
+func (n *Node) failFetch(req uint64, st *fetchState, err error) {
+	if st.done {
+		return
+	}
+	st.done = true
+	delete(n.fetches, req)
+	if st.onBlock != nil {
+		st.onBlock(nil, err)
+	}
+	if st.onChunk != nil {
+		st.onChunk(err)
+	}
+}
+
+// --- bootstrap ---------------------------------------------------------------
+
+// bootstrapState tracks a join in progress.
+type bootstrapState struct {
+	sponsor     simnet.NodeID
+	outstanding int
+	failed      bool
+	cb          func(error)
+}
+
+// Bootstrap joins the cluster: fetch every header from sponsor, then fetch
+// only the chunks rendezvous placement assigns to this node under the
+// post-join membership. cb fires once with nil on success. The node must
+// already be registered in the network and present in the cluster's member
+// list (System.JoinCluster arranges both).
+func (n *Node) Bootstrap(net *simnet.Network, sponsor simnet.NodeID, cb func(error)) {
+	n.bootstrap = &bootstrapState{sponsor: sponsor, cb: cb}
+	_ = net.Send(simnet.Message{
+		From: n.id, To: sponsor, Kind: KindGetHeaders,
+		Size: reqOverhead, Payload: getHeadersMsg{FromHeight: 0},
+	})
+	net.After(fetchTimeout, func() {
+		if n.bootstrap != nil && n.bootstrap.cb != nil {
+			n.finishBootstrap(ErrBootstrapFailed)
+		}
+	})
+}
+
+// onHeaders continues the bootstrap: validate the header chain, then fetch
+// owned chunks.
+func (n *Node) onHeaders(net *simnet.Network, m headersMsg) {
+	bs := n.bootstrap
+	if bs == nil {
+		return
+	}
+	// Validate linkage before trusting anything.
+	var prev *chain.Header
+	for i := range m.Headers {
+		h := m.Headers[i]
+		if prev != nil {
+			b := chain.Block{Header: h}
+			if err := b.VerifyLink(prev); err != nil {
+				n.finishBootstrap(fmt.Errorf("%w: header %d: %v", ErrBootstrapFailed, i, err))
+				return
+			}
+		} else if h.Height != 0 || !h.PrevHash.IsZero() {
+			n.finishBootstrap(fmt.Errorf("%w: chain does not start at genesis", ErrBootstrapFailed))
+			return
+		}
+		n.store.PutHeader(h)
+		prev = &m.Headers[i]
+	}
+	// Fetch the chunks this node now owns.
+	for _, h := range m.Headers {
+		block := h.Hash()
+		parts := n.cluster.partsAt(h.Height)
+		seed := block.Uint64()
+		for idx := 0; idx < parts; idx++ {
+			owners, err := Owners(seed, n.cluster.members, idx, n.replication)
+			if err != nil {
+				continue
+			}
+			if !memberOf(owners, n.id) {
+				continue
+			}
+			// Fetch from the other current owners first, then fall back to
+			// the owners under the pre-join membership — they held the
+			// chunk before this node existed and remain good sources when
+			// a co-owner is crashed or serving corrupted data.
+			sources := make([]simnet.NodeID, 0, 2*len(owners))
+			for _, o := range owners {
+				if o != n.id {
+					sources = append(sources, o)
+				}
+			}
+			if prevOwners, perr := Owners(seed, without(n.cluster.members, n.id), idx, n.replication); perr == nil {
+				for _, o := range prevOwners {
+					if o != n.id && !memberOf(sources, o) {
+						sources = append(sources, o)
+					}
+				}
+			}
+			if len(sources) == 0 {
+				continue
+			}
+			bs.outstanding++
+			n.fetchChunk(net, block, idx, sources, func(err error) {
+				if err != nil {
+					bs.failed = true
+				}
+				bs.outstanding--
+				if bs.outstanding == 0 {
+					if bs.failed {
+						n.finishBootstrap(ErrBootstrapFailed)
+					} else {
+						n.finishBootstrap(nil)
+					}
+				}
+			})
+		}
+	}
+	if bs.outstanding == 0 {
+		n.finishBootstrap(nil)
+	}
+}
+
+func (n *Node) finishBootstrap(err error) {
+	if n.bootstrap == nil || n.bootstrap.cb == nil {
+		return
+	}
+	cb := n.bootstrap.cb
+	n.bootstrap.cb = nil
+	n.bootstrap = nil
+	cb(err)
+}
+
+// without returns members minus id.
+func without(members []simnet.NodeID, id simnet.NodeID) []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(members))
+	for _, m := range members {
+		if m != id {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// fetchChunk requests one chunk, trying sources in order until one serves a
+// verifiable copy. cb fires once.
+func (n *Node) fetchChunk(net *simnet.Network, block blockcrypto.Hash, idx int, sources []simnet.NodeID, cb func(error)) {
+	id := storage.ChunkID{Block: block, Index: idx}
+	if n.store.HasChunk(id) {
+		cb(nil)
+		return
+	}
+	if len(sources) == 0 {
+		cb(ErrChunkLost)
+		return
+	}
+	n.nextReq++
+	req := n.nextReq
+	st := &fetchState{
+		block:     block,
+		idx:       idx,
+		remaining: sources[1:],
+		onChunk:   cb,
+	}
+	n.fetches[req] = st
+	_ = net.Send(simnet.Message{
+		From: n.id, To: sources[0], Kind: KindGetChunk,
+		Size: reqOverhead, Payload: getChunkMsg{Block: block, Idx: idx, ReqID: req},
+	})
+	net.After(fetchTimeout, func() {
+		if cur, ok := n.fetches[req]; ok && !cur.done {
+			n.failFetch(req, cur, ErrChunkLost)
+		}
+	})
+}
+
+// onChunkResp finishes (or retries) a single-chunk fetch.
+func (n *Node) onChunkResp(net *simnet.Network, m chunkRespMsg) {
+	st, ok := n.fetches[m.ReqID]
+	if !ok || st.done || st.block != m.Block {
+		return
+	}
+	ok = m.Found
+	if ok {
+		// The chunk must verify against the locally known header.
+		hdr, err := n.store.Header(m.Block)
+		if err != nil || hdr.MerkleRoot != m.Chunk.Header.MerkleRoot {
+			ok = false
+		} else if verifyChunk(m.Chunk) != nil || m.Chunk.PartIdx != st.idx {
+			ok = false
+		}
+	}
+	if ok {
+		delete(n.fetches, m.ReqID)
+		st.done = true
+		n.persistChunk(m.Block, m.Chunk)
+		st.onChunk(nil)
+		return
+	}
+	// Try the next source.
+	if len(st.remaining) == 0 {
+		n.failFetch(m.ReqID, st, ErrChunkLost)
+		return
+	}
+	next := st.remaining[0]
+	st.remaining = st.remaining[1:]
+	_ = net.Send(simnet.Message{
+		From: n.id, To: next, Kind: KindGetChunk,
+		Size: reqOverhead, Payload: getChunkMsg{Block: m.Block, Idx: st.idx, ReqID: m.ReqID},
+	})
+}
+
+// --- repair -------------------------------------------------------------------
+
+// RepairOwnership scans every committed block and fetches any chunk this
+// node now owns (after a membership change) but does not hold. cb receives
+// the number of chunks that could not be recovered from inside the cluster
+// (0 means full intra-cluster integrity was restored).
+func (n *Node) RepairOwnership(net *simnet.Network, cb func(lost int)) {
+	type want struct {
+		block blockcrypto.Hash
+		idx   int
+		srcs  []simnet.NodeID
+	}
+	var wants []want
+	for _, h := range n.store.Headers() {
+		block := h.Hash()
+		parts := n.cluster.partsAt(h.Height)
+		seed := block.Uint64()
+		for idx := 0; idx < parts; idx++ {
+			owners, err := Owners(seed, n.cluster.members, idx, n.replication)
+			if err != nil || !memberOf(owners, n.id) {
+				continue
+			}
+			if n.store.HasChunk(storage.ChunkID{Block: block, Index: idx}) {
+				continue
+			}
+			srcs := without(owners, n.id)
+			// Other current members may hold it from before the change.
+			for _, m := range n.cluster.members {
+				if m != n.id && !memberOf(srcs, m) {
+					srcs = append(srcs, m)
+				}
+			}
+			wants = append(wants, want{block: block, idx: idx, srcs: srcs})
+		}
+	}
+	if len(wants) == 0 {
+		cb(0)
+		return
+	}
+	lost, outstanding := 0, len(wants)
+	for _, w := range wants {
+		n.fetchChunk(net, w.block, w.idx, w.srcs, func(err error) {
+			if err != nil {
+				lost++
+			}
+			outstanding--
+			if outstanding == 0 {
+				cb(lost)
+			}
+		})
+	}
+}

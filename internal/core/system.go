@@ -1,0 +1,501 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/chain"
+	"icistrategy/internal/cluster"
+	"icistrategy/internal/simnet"
+	"icistrategy/internal/storage"
+)
+
+// System errors.
+var (
+	ErrBadConfig      = errors.New("core: invalid system configuration")
+	ErrNoTip          = errors.New("core: no committed blocks yet")
+	ErrUnknownCluster = errors.New("core: cluster index out of range")
+	ErrUnknownNodeID  = errors.New("core: unknown node")
+)
+
+// Config parameterizes an ICIStrategy deployment.
+type Config struct {
+	// Nodes is the initial network size.
+	Nodes int
+	// Clusters is the number of clusters m.
+	Clusters int
+	// Replication is the intra-cluster replication factor r (1 ≤ r ≤
+	// smallest cluster size).
+	Replication int
+	// Method selects the clustering algorithm (default BalancedKMeans).
+	Method cluster.Method
+	// Seed drives every random decision; identical seeds give identical
+	// runs.
+	Seed uint64
+	// SideMillis is the size of the latency square nodes are placed in
+	// (default 60 ms).
+	SideMillis float64
+	// Coords overrides node placement (len must equal Nodes); nil means
+	// uniform random placement in the SideMillis square.
+	Coords []simnet.Coord
+	// Latency overrides the network latency model (default the standard
+	// LinkModel seeded from Seed).
+	Latency simnet.LatencyModel
+	// UplinkBytesPerSec, when positive, serializes each node's outgoing
+	// transmissions at this rate (see simnet.SetUplinkBandwidth).
+	UplinkBytesPerSec float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Method == 0 {
+		c.Method = cluster.BalancedKMeans
+	}
+	if c.SideMillis == 0 {
+		c.SideMillis = 60
+	}
+	if c.Replication == 0 {
+		c.Replication = 1
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("%w: need at least one node", ErrBadConfig)
+	}
+	if c.Clusters < 1 || c.Clusters > c.Nodes {
+		return fmt.Errorf("%w: clusters=%d with %d nodes", ErrBadConfig, c.Clusters, c.Nodes)
+	}
+	return nil
+}
+
+// partsEpoch records that blocks at height >= FromHeight are split into
+// Parts chunks (cluster size changes create new epochs).
+type partsEpoch struct {
+	fromHeight uint64
+	parts      int
+}
+
+// partsAt returns the chunk count for a block at the given height. Every
+// cluster records an epoch at construction, so the walk always resolves.
+func (c *clusterInfo) partsAt(height uint64) int {
+	parts := len(c.members)
+	for _, e := range c.epochs {
+		if height >= e.fromHeight {
+			parts = e.parts
+		}
+	}
+	return parts
+}
+
+// System assembles and drives a whole ICIStrategy network inside the
+// discrete-event simulator: nodes, clusters, keys, block production,
+// membership changes and repair. It is the protocol-layer counterpart of
+// Accountant and the entry point examples and experiments use.
+type System struct {
+	cfg      Config
+	net      *simnet.Network
+	coords   []simnet.Coord
+	asg      *cluster.Assignment
+	clusters []*clusterInfo
+	nodes    map[simnet.NodeID]*Node
+	keys     map[simnet.NodeID]blockcrypto.KeyPair
+	rng      *blockcrypto.RNG
+
+	tip    *chain.Header
+	height uint64
+	nextID simnet.NodeID
+}
+
+// NewSystem builds the network: place nodes in latency space, cluster them,
+// derive keys, and register everyone with the simulator.
+func NewSystem(cfg Config) (*System, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := blockcrypto.NewRNG(cfg.Seed)
+	coords := cfg.Coords
+	if coords == nil {
+		coords = simnet.RandomCoords(cfg.Nodes, cfg.SideMillis, rng.Fork("coords"))
+	} else if len(coords) != cfg.Nodes {
+		return nil, fmt.Errorf("%w: %d coords for %d nodes", ErrBadConfig, len(coords), cfg.Nodes)
+	}
+	asg, err := cluster.Partition(cfg.Method, coords, cfg.Clusters, rng.Fork("partition"))
+	if err != nil {
+		return nil, err
+	}
+	for c := 0; c < asg.NumClusters(); c++ {
+		if cfg.Replication > asg.Size(c) {
+			return nil, fmt.Errorf("%w: replication %d exceeds cluster %d size %d",
+				ErrBadConfig, cfg.Replication, c, asg.Size(c))
+		}
+	}
+	latency := cfg.Latency
+	if latency == nil {
+		latency = simnet.NewLinkModel(rng.Fork("latency").Uint64())
+	}
+	net := simnet.New(latency)
+	if cfg.UplinkBytesPerSec > 0 {
+		net.SetUplinkBandwidth(cfg.UplinkBytesPerSec)
+	}
+	s := &System{
+		cfg:    cfg,
+		net:    net,
+		coords: coords,
+		asg:    asg,
+		nodes:  make(map[simnet.NodeID]*Node, cfg.Nodes),
+		keys:   make(map[simnet.NodeID]blockcrypto.KeyPair, cfg.Nodes),
+		rng:    rng,
+		nextID: simnet.NodeID(cfg.Nodes),
+	}
+	s.clusters = make([]*clusterInfo, asg.NumClusters())
+	for c := range s.clusters {
+		members := make([]simnet.NodeID, len(asg.Members[c]))
+		for i, m := range asg.Members[c] {
+			members[i] = simnet.NodeID(m)
+		}
+		s.clusters[c] = &clusterInfo{
+			index:   c,
+			members: members,
+			epochs:  []partsEpoch{{fromHeight: 0, parts: len(members)}},
+		}
+	}
+	registry := s.PublicKey
+	for i := 0; i < cfg.Nodes; i++ {
+		id := simnet.NodeID(i)
+		key := blockcrypto.DeriveKeyPair(cfg.Seed, uint64(id))
+		s.keys[id] = key
+		node := newNode(id, s.clusters[asg.ClusterOf[i]], key, cfg.Replication, registry)
+		s.nodes[id] = node
+		if err := s.net.AddNode(id, node, coords[i]); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Network exposes the underlying simulator (for time and traffic queries).
+func (s *System) Network() *simnet.Network { return s.net }
+
+// Assignment returns the cluster assignment the system was built with.
+func (s *System) Assignment() *cluster.Assignment { return s.asg }
+
+// NewAccountant returns the analytic model matching this system's
+// clustering and replication, so tests and experiments can cross-check the
+// protocol's actual storage against the closed-form accounting.
+func (s *System) NewAccountant() (*Accountant, error) {
+	return NewAccountant(s.asg, s.cfg.Replication)
+}
+
+// Node returns a node by ID.
+func (s *System) Node(id simnet.NodeID) (*Node, error) {
+	n, ok := s.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNodeID, id)
+	}
+	return n, nil
+}
+
+// NumClusters returns the cluster count.
+func (s *System) NumClusters() int { return len(s.clusters) }
+
+// ClusterMembers returns a copy of the member list of cluster c.
+func (s *System) ClusterMembers(c int) ([]simnet.NodeID, error) {
+	if c < 0 || c >= len(s.clusters) {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownCluster, c)
+	}
+	return append([]simnet.NodeID(nil), s.clusters[c].members...), nil
+}
+
+// ClusterOf returns the cluster index of a node.
+func (s *System) ClusterOf(id simnet.NodeID) (int, error) {
+	n, err := s.Node(id)
+	if err != nil {
+		return 0, err
+	}
+	return n.cluster.index, nil
+}
+
+// PublicKey returns a node's public key, or nil for unknown nodes. It is
+// the registry verifiers use.
+func (s *System) PublicKey(id simnet.NodeID) []byte {
+	if k, ok := s.keys[id]; ok {
+		return k.Public
+	}
+	return nil
+}
+
+// Height returns the number of blocks produced so far.
+func (s *System) Height() uint64 { return s.height }
+
+// Tip returns the most recently produced block header.
+func (s *System) Tip() (*chain.Header, error) {
+	if s.tip == nil {
+		return nil, ErrNoTip
+	}
+	return s.tip, nil
+}
+
+// ProduceBlock assembles the next block from txs and hands it to every
+// cluster's leader for collaborative storage and verification. The producer
+// is the rotating global proposer (node height mod n). Call
+// Network().RunUntilIdle() (or Run) afterwards to let distribution,
+// verification and commit play out; CommitCount reports progress.
+func (s *System) ProduceBlock(txs []*chain.Transaction) (*chain.Block, error) {
+	prev := blockcrypto.ZeroHash
+	if s.tip != nil {
+		prev = s.tip.Hash()
+	}
+	// Rotate the proposer over the initial population, skipping crashed
+	// nodes (a dead proposer would simply miss its slot).
+	proposerIdx := int(s.height % uint64(s.cfg.Nodes))
+	proposer := simnet.NodeID(proposerIdx)
+	for tries := 0; s.net.IsDown(proposer) && tries < s.cfg.Nodes; tries++ {
+		proposerIdx = (proposerIdx + 1) % s.cfg.Nodes
+		proposer = simnet.NodeID(proposerIdx)
+	}
+	b, err := chain.NewBlock(s.height, prev, txs, uint64(s.net.Now().Milliseconds()), uint64(proposer))
+	if err != nil {
+		return nil, err
+	}
+	msg := proposeMsg{Block: b}
+	for _, ci := range s.clusters {
+		leader, lerr := ci.leaderAt(b.Header.Height)
+		if lerr != nil {
+			return nil, lerr
+		}
+		if leader == proposer {
+			s.nodes[proposer].onPropose(s.net, msg)
+			continue
+		}
+		if err := s.net.Send(simnet.Message{
+			From: proposer, To: leader, Kind: KindPropose,
+			Size: msg.wireSize(), Payload: msg,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	hdr := b.Header
+	s.tip = &hdr
+	s.height++
+	return b, nil
+}
+
+// CommitCount returns how many nodes have finalized the given block
+// (stored its header).
+func (s *System) CommitCount(block blockcrypto.Hash) int {
+	n := 0
+	for _, node := range s.nodes {
+		if node.store.HasHeader(block) {
+			n++
+		}
+	}
+	return n
+}
+
+// ClusterCommitted reports whether every live member of cluster c finalized
+// the block.
+func (s *System) ClusterCommitted(c int, block blockcrypto.Hash) (bool, error) {
+	if c < 0 || c >= len(s.clusters) {
+		return false, fmt.Errorf("%w: %d", ErrUnknownCluster, c)
+	}
+	for _, m := range s.clusters[c].members {
+		if s.net.IsDown(m) {
+			continue
+		}
+		if !s.nodes[m].store.HasHeader(block) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// AllCommitted reports whether every live node in the network finalized the
+// block.
+func (s *System) AllCommitted(block blockcrypto.Hash) bool {
+	for c := range s.clusters {
+		ok, err := s.ClusterCommitted(c, block)
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ClusterHoldsBlock verifies the intra-cluster integrity invariant for one
+// block: the union of the cluster members' chunk stores reassembles the
+// block body exactly (Merkle root check included).
+func (s *System) ClusterHoldsBlock(c int, block blockcrypto.Hash) error {
+	if c < 0 || c >= len(s.clusters) {
+		return fmt.Errorf("%w: %d", ErrUnknownCluster, c)
+	}
+	ci := s.clusters[c]
+	var hdr *chain.Header
+	type part struct {
+		txStart int
+		txs     []*chain.Transaction
+	}
+	found := make(map[int]part)
+	parts := 0
+	for _, m := range ci.members {
+		node := s.nodes[m]
+		if h, err := node.store.Header(block); err == nil && hdr == nil {
+			hh := h
+			hdr = &hh
+		}
+		for _, idx := range node.store.ChunksForBlock(block) {
+			id := storage.ChunkID{Block: block, Index: idx}
+			chk, err := node.store.Chunk(id)
+			if err != nil {
+				continue
+			}
+			meta := node.meta[id]
+			parts = meta.parts
+			if _, ok := found[idx]; ok {
+				continue
+			}
+			txs, derr := chain.DecodeBody(chk.Data)
+			if derr != nil {
+				continue
+			}
+			found[idx] = part{txStart: meta.txStart, txs: txs}
+		}
+	}
+	if hdr == nil {
+		return fmt.Errorf("cluster %d: %w", c, ErrUnknownBlock)
+	}
+	if parts == 0 || len(found) < parts {
+		return fmt.Errorf("cluster %d: holds %d of %d chunks of %s", c, len(found), parts, block.Short())
+	}
+	idxs := make([]int, 0, len(found))
+	for i := range found {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	var txs []*chain.Transaction
+	for _, i := range idxs {
+		txs = append(txs, found[i].txs...)
+	}
+	b := &chain.Block{Header: *hdr, Txs: txs}
+	if err := b.VerifyShape(); err != nil {
+		return fmt.Errorf("cluster %d: reassembly of %s: %w", c, block.Short(), err)
+	}
+	return nil
+}
+
+// NodeStorage returns a node's storage snapshot.
+func (s *System) NodeStorage(id simnet.NodeID) (storage.Stats, error) {
+	n, err := s.Node(id)
+	if err != nil {
+		return storage.Stats{}, err
+	}
+	return n.store.Stats(), nil
+}
+
+// FailNode marks a node as crashed: it drops in-flight and future messages
+// until recovered, but keeps its membership (use RemoveNode for departure).
+func (s *System) FailNode(id simnet.NodeID) error { return s.net.SetDown(id, true) }
+
+// RecoverNode brings a crashed node back.
+func (s *System) RecoverNode(id simnet.NodeID) error { return s.net.SetDown(id, false) }
+
+// RemoveNode permanently removes a node from its cluster's membership and
+// fails it. Chunks it owned must be re-established with RepairCluster.
+func (s *System) RemoveNode(id simnet.NodeID) error {
+	n, err := s.Node(id)
+	if err != nil {
+		return err
+	}
+	ci := n.cluster
+	ci.members = without(ci.members, id)
+	if len(ci.members) == 0 {
+		return fmt.Errorf("core: cluster %d lost its last member", ci.index)
+	}
+	// Future blocks use the shrunk membership as chunk count.
+	ci.epochs = append(ci.epochs, partsEpoch{fromHeight: s.height, parts: len(ci.members)})
+	return s.net.SetDown(id, true)
+}
+
+// RepairCluster triggers every member of cluster c to re-establish the
+// chunks it now owns; cb receives the total number of unrecoverable chunks
+// once all members finish. Drive the network afterwards.
+func (s *System) RepairCluster(c int, cb func(lost int)) error {
+	if c < 0 || c >= len(s.clusters) {
+		return fmt.Errorf("%w: %d", ErrUnknownCluster, c)
+	}
+	ci := s.clusters[c]
+	outstanding := 0
+	totalLost := 0
+	for _, m := range ci.members {
+		if s.net.IsDown(m) {
+			continue
+		}
+		outstanding++
+	}
+	if outstanding == 0 {
+		cb(0)
+		return nil
+	}
+	for _, m := range ci.members {
+		if s.net.IsDown(m) {
+			continue
+		}
+		s.nodes[m].RepairOwnership(s.net, func(lost int) {
+			totalLost += lost
+			outstanding--
+			if outstanding == 0 {
+				cb(totalLost)
+			}
+		})
+	}
+	return nil
+}
+
+// JoinCluster creates a brand-new node, adds it to cluster c's membership,
+// and starts its bootstrap from a live sponsor inside the cluster. cb fires
+// with the new node's ID (and any bootstrap error) once the join completes.
+// Drive the network afterwards.
+func (s *System) JoinCluster(c int, cb func(simnet.NodeID, error)) error {
+	if c < 0 || c >= len(s.clusters) {
+		return fmt.Errorf("%w: %d", ErrUnknownCluster, c)
+	}
+	ci := s.clusters[c]
+	var sponsor simnet.NodeID
+	foundSponsor := false
+	for _, m := range ci.members {
+		if !s.net.IsDown(m) {
+			sponsor = m
+			foundSponsor = true
+			break
+		}
+	}
+	if !foundSponsor {
+		return fmt.Errorf("core: cluster %d has no live sponsor", c)
+	}
+	id := s.nextID
+	s.nextID++
+	key := blockcrypto.DeriveKeyPair(s.cfg.Seed, uint64(id))
+	s.keys[id] = key
+	node := newNode(id, ci, key, s.cfg.Replication, s.PublicKey)
+	s.nodes[id] = node
+	// Place the newcomer near the cluster's first member — joining nodes
+	// pick the latency-closest cluster in practice.
+	coord, err := s.net.Coordinate(sponsor)
+	if err != nil {
+		return err
+	}
+	coord.X += s.rng.NormFloat64()
+	coord.Y += s.rng.NormFloat64()
+	if err := s.net.AddNode(id, node, coord); err != nil {
+		return err
+	}
+	// Membership grows now; blocks from the current height on are split
+	// into the larger part count.
+	ci.members = append(ci.members, id)
+	sort.Slice(ci.members, func(i, j int) bool { return ci.members[i] < ci.members[j] })
+	ci.epochs = append(ci.epochs, partsEpoch{fromHeight: s.height, parts: len(ci.members)})
+	node.Bootstrap(s.net, sponsor, func(err error) { cb(id, err) })
+	return nil
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/chain"
+	"icistrategy/internal/simnet"
+	"icistrategy/internal/storage"
+)
+
+// Light-client query message kinds.
+const (
+	// KindGetTxProof asks a member whether it holds the chunk containing a
+	// transaction of a block, and for the Merkle proof if so.
+	KindGetTxProof = "ici/get-txproof"
+	// KindTxProof is the response.
+	KindTxProof = "ici/txproof"
+)
+
+// ErrTxNotFound is reported when no cluster member serves a proof for the
+// requested transaction.
+var ErrTxNotFound = fmt.Errorf("core: transaction not found in block")
+
+// TxProof is a verified transaction-inclusion result: the transaction, the
+// block header that commits to it, and the Merkle proof connecting them.
+// It is what an ICIStrategy cluster hands to a light client — no member had
+// to hold the whole block to produce it.
+type TxProof struct {
+	Tx     *chain.Transaction
+	Header chain.Header
+	Proof  chain.Proof
+}
+
+// Verify re-checks the proof against the header root.
+func (p TxProof) Verify() error {
+	if p.Tx == nil {
+		return ErrTxNotFound
+	}
+	return chain.VerifyProof(p.Header.MerkleRoot, p.Tx.ID(), p.Proof)
+}
+
+// getTxProofMsg asks for a proof of txID inside block.
+type getTxProofMsg struct {
+	Block blockcrypto.Hash
+	TxID  blockcrypto.Hash
+	ReqID uint64
+}
+
+// txProofMsg answers a proof query. Found is false when this member's
+// chunks do not contain the transaction.
+type txProofMsg struct {
+	Block blockcrypto.Hash
+	ReqID uint64
+	Found bool
+	Tx    *chain.Transaction
+	Proof chain.Proof
+}
+
+func (m txProofMsg) wireSize() int {
+	if !m.Found {
+		return reqOverhead
+	}
+	return reqOverhead + m.Tx.EncodedSize() + m.Proof.EncodedSize()
+}
+
+// txQueryState tracks one in-flight inclusion query.
+type txQueryState struct {
+	block   blockcrypto.Hash
+	txID    blockcrypto.Hash
+	waiting int
+	done    bool
+	cb      func(TxProof, error)
+}
+
+// QueryTxProof asks this node's cluster for an inclusion proof of txID in
+// the given block. The owners of whichever chunk contains the transaction
+// answer with the transaction, its stored Merkle proof, and the header; the
+// result is verified against the locally stored header before cb fires.
+func (n *Node) QueryTxProof(net *simnet.Network, block, txID blockcrypto.Hash, cb func(TxProof, error)) {
+	hdr, err := n.store.Header(block)
+	if err != nil {
+		cb(TxProof{}, fmt.Errorf("%w: %s", ErrUnknownBlock, block.Short()))
+		return
+	}
+	// Local chunks first: the querying node may own the right chunk.
+	if proof, ok := n.localTxProof(block, txID); ok {
+		proof.Header = hdr
+		cb(proof, nil)
+		return
+	}
+	n.nextReq++
+	req := n.nextReq
+	st := &txQueryState{block: block, txID: txID, cb: cb}
+	n.txQueries[req] = st
+	for _, m := range n.cluster.members {
+		if m == n.id {
+			continue
+		}
+		st.waiting++
+		_ = net.Send(simnet.Message{
+			From: n.id, To: m, Kind: KindGetTxProof,
+			Size: reqOverhead, Payload: getTxProofMsg{Block: block, TxID: txID, ReqID: req},
+		})
+	}
+	if st.waiting == 0 {
+		delete(n.txQueries, req)
+		cb(TxProof{}, ErrTxNotFound)
+		return
+	}
+	net.After(fetchTimeout, func() {
+		if cur, ok := n.txQueries[req]; ok && !cur.done {
+			cur.done = true
+			delete(n.txQueries, req)
+			cur.cb(TxProof{}, ErrTxNotFound)
+		}
+	})
+}
+
+// localTxProof scans this node's own chunks for the transaction.
+func (n *Node) localTxProof(block, txID blockcrypto.Hash) (TxProof, bool) {
+	for _, idx := range n.store.ChunksForBlock(block) {
+		id := storage.ChunkID{Block: block, Index: idx}
+		chk, err := n.store.Chunk(id)
+		if err != nil {
+			continue
+		}
+		meta := n.meta[id]
+		if meta.coded {
+			continue // byte shares carry no per-tx structure
+		}
+		txs, derr := chain.DecodeBody(chk.Data)
+		if derr != nil {
+			continue
+		}
+		for i, tx := range txs {
+			if tx.ID() == txID && i < len(meta.proofs) {
+				return TxProof{Tx: tx, Proof: meta.proofs[i]}, true
+			}
+		}
+	}
+	return TxProof{}, false
+}
+
+// onGetTxProof serves an inclusion query from this node's stored chunks.
+func (n *Node) onGetTxProof(net *simnet.Network, from simnet.NodeID, m getTxProofMsg) {
+	resp := txProofMsg{Block: m.Block, ReqID: m.ReqID}
+	if proof, ok := n.localTxProof(m.Block, m.TxID); ok {
+		resp.Found = true
+		resp.Tx = proof.Tx
+		resp.Proof = proof.Proof
+	}
+	_ = net.Send(simnet.Message{
+		From: n.id, To: from, Kind: KindTxProof,
+		Size: resp.wireSize(), Payload: resp,
+	})
+}
+
+// onTxProof consumes one member's answer to an inclusion query.
+func (n *Node) onTxProof(m txProofMsg) {
+	st, ok := n.txQueries[m.ReqID]
+	if !ok || st.done || st.block != m.Block {
+		return
+	}
+	req := m.ReqID
+	st.waiting--
+	if m.Found && m.Tx != nil && m.Tx.ID() == st.txID {
+		hdr, err := n.store.Header(st.block)
+		if err == nil {
+			proof := TxProof{Tx: m.Tx, Header: hdr, Proof: m.Proof}
+			if proof.Verify() == nil {
+				st.done = true
+				delete(n.txQueries, req)
+				st.cb(proof, nil)
+				return
+			}
+		}
+	}
+	if st.waiting == 0 {
+		st.done = true
+		delete(n.txQueries, req)
+		st.cb(TxProof{}, ErrTxNotFound)
+	}
+}

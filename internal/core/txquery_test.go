@@ -1,0 +1,144 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/chain"
+	"icistrategy/internal/simnet"
+	"icistrategy/internal/workload"
+)
+
+func TestQueryTxProofSucceeds(t *testing.T) {
+	sys, gen := buildSystem(t, Config{Nodes: 18, Clusters: 2, Replication: 1, Seed: 40})
+	blocks := produceAndSettle(t, sys, gen, 3, 24)
+	target := blocks[1]
+	members, _ := sys.ClusterMembers(0)
+	node, _ := sys.Node(members[0])
+
+	// Query every transaction of the block: whichever member holds the
+	// containing chunk must serve a verifiable proof.
+	for i, tx := range target.Txs {
+		var got TxProof
+		var gotErr error
+		done := false
+		node.QueryTxProof(sys.Network(), target.Hash(), tx.ID(), func(p TxProof, err error) {
+			got, gotErr, done = p, err, true
+		})
+		sys.Network().RunUntilIdle()
+		if !done {
+			t.Fatalf("tx %d: query never completed", i)
+		}
+		if gotErr != nil {
+			t.Fatalf("tx %d: %v", i, gotErr)
+		}
+		if got.Tx.ID() != tx.ID() {
+			t.Fatalf("tx %d: wrong transaction returned", i)
+		}
+		if err := got.Verify(); err != nil {
+			t.Fatalf("tx %d: returned proof does not verify: %v", i, err)
+		}
+		if got.Header.Hash() != target.Hash() {
+			t.Fatalf("tx %d: proof against wrong header", i)
+		}
+	}
+}
+
+func TestQueryTxProofUnknownTx(t *testing.T) {
+	sys, gen := buildSystem(t, Config{Nodes: 12, Clusters: 2, Replication: 1, Seed: 41})
+	blocks := produceAndSettle(t, sys, gen, 1, 12)
+	node, _ := sys.Node(0)
+	var gotErr error
+	done := false
+	node.QueryTxProof(sys.Network(), blocks[0].Hash(), blockcrypto.Sum256([]byte("ghost tx")),
+		func(_ TxProof, err error) { gotErr, done = err, true })
+	sys.Network().RunUntilIdle()
+	if !done {
+		t.Fatal("query never completed")
+	}
+	if !errors.Is(gotErr, ErrTxNotFound) {
+		t.Fatalf("got %v, want ErrTxNotFound", gotErr)
+	}
+}
+
+func TestQueryTxProofUnknownBlock(t *testing.T) {
+	sys, gen := buildSystem(t, Config{Nodes: 12, Clusters: 2, Replication: 1, Seed: 42})
+	produceAndSettle(t, sys, gen, 1, 12)
+	node, _ := sys.Node(0)
+	var gotErr error
+	node.QueryTxProof(sys.Network(), blockcrypto.Sum256([]byte("no such block")),
+		blockcrypto.Sum256([]byte("tx")), func(_ TxProof, err error) { gotErr = err })
+	sys.Network().RunUntilIdle()
+	if !errors.Is(gotErr, ErrUnknownBlock) {
+		t.Fatalf("got %v, want ErrUnknownBlock", gotErr)
+	}
+}
+
+func TestQueryTxProofLocalFastPath(t *testing.T) {
+	// If the querying node itself owns the chunk, no network traffic is
+	// needed.
+	sys, gen := buildSystem(t, Config{Nodes: 12, Clusters: 1, Replication: 1, Seed: 43})
+	blocks := produceAndSettle(t, sys, gen, 1, 24)
+	target := blocks[0]
+	// Find a (node, tx) pair where the node holds the tx's chunk.
+	for id := 0; id < 12; id++ {
+		node, _ := sys.Node(simnetID(id))
+		for _, tx := range target.Txs {
+			if proof, ok := node.localTxProof(target.Hash(), tx.ID()); ok {
+				sys.Network().ResetTraffic()
+				var got TxProof
+				var gotErr error
+				node.QueryTxProof(sys.Network(), target.Hash(), tx.ID(), func(p TxProof, err error) {
+					got, gotErr = p, err
+				})
+				if gotErr != nil {
+					t.Fatal(gotErr)
+				}
+				if got.Tx.ID() != proof.Tx.ID() {
+					t.Fatal("local fast path returned wrong tx")
+				}
+				if tr := sys.Network().TotalTraffic(); tr.MsgsSent != 0 {
+					t.Fatalf("local query sent %d messages", tr.MsgsSent)
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("no node held any chunk — distribution broken")
+}
+
+func TestTxProofVerifyRejectsMismatch(t *testing.T) {
+	gen, err := newGenForTest(44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := gen.NextTxs(8)
+	b, err := chain.NewBlock(0, blockcrypto.ZeroHash, txs, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, _ := chain.TxMerkleTree(txs)
+	p0, _ := tree.Prove(0)
+	good := TxProof{Tx: txs[0], Header: b.Header, Proof: p0}
+	if err := good.Verify(); err != nil {
+		t.Fatalf("good proof rejected: %v", err)
+	}
+	bad := good
+	bad.Tx = txs[1]
+	if err := bad.Verify(); err == nil {
+		t.Fatal("proof verified for the wrong transaction")
+	}
+	empty := TxProof{}
+	if err := empty.Verify(); err == nil {
+		t.Fatal("empty proof verified")
+	}
+}
+
+// simnetID converts an int for readability in tests.
+func simnetID(i int) (id simnet.NodeID) { return simnet.NodeID(i) }
+
+// newGenForTest builds a small deterministic workload generator.
+func newGenForTest(seed uint64) (*workload.Generator, error) {
+	return workload.NewGenerator(workload.Config{Accounts: 20, PayloadBytes: 10, Seed: seed})
+}

@@ -1,0 +1,195 @@
+// Package erasure implements systematic Reed-Solomon erasure coding over
+// GF(2^8), built from scratch on the standard library.
+//
+// ICIStrategy's coded-storage extension encodes a block body into n shares
+// such that any k reconstruct it; the repair path uses it when plain
+// replicas are gone. The code is a classic Vandermonde-derived systematic
+// construction: the first k shares are the data itself, the remaining n-k
+// are parity.
+package erasure
+
+// GF(2^8) arithmetic with the AES polynomial x^8+x^4+x^3+x+1 (0x11d as the
+// reduction constant with the implicit x^8). Tables are built once at
+// package init; gfExp is doubled in length to skip a mod in gfMul.
+var (
+	gfExp [512]byte
+	gfLog [256]byte
+)
+
+func init() {
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		gfExp[i] = x
+		gfLog[x] = byte(i)
+		// multiply x by the generator 0x02 modulo the field polynomial
+		carry := x&0x80 != 0
+		x <<= 1
+		if carry {
+			x ^= 0x1d
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides a by b. b must be non-zero.
+func gfDiv(a, b byte) byte {
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfInv returns the multiplicative inverse of a (a must be non-zero).
+func gfInv(a byte) byte {
+	return gfExp[255-int(gfLog[a])]
+}
+
+// gfPow raises base to the given power.
+func gfPow(base byte, power int) byte {
+	if power == 0 {
+		return 1
+	}
+	if base == 0 {
+		return 0
+	}
+	p := (int(gfLog[base]) * power) % 255
+	if p < 0 {
+		p += 255
+	}
+	return gfExp[p]
+}
+
+// mulSlice computes out[i] ^= c * in[i] for all i, the inner loop of both
+// encoding and decoding.
+func mulSliceXor(c byte, in, out []byte) {
+	if c == 0 {
+		return
+	}
+	logC := int(gfLog[c])
+	for i, v := range in {
+		if v != 0 {
+			out[i] ^= gfExp[logC+int(gfLog[v])]
+		}
+	}
+}
+
+// matrix is a dense GF(256) matrix, row-major.
+type matrix struct {
+	rows, cols int
+	data       []byte
+}
+
+func newMatrix(rows, cols int) *matrix {
+	return &matrix{rows: rows, cols: cols, data: make([]byte, rows*cols)}
+}
+
+func (m *matrix) at(r, c int) byte     { return m.data[r*m.cols+c] }
+func (m *matrix) set(r, c int, v byte) { m.data[r*m.cols+c] = v }
+func (m *matrix) row(r int) []byte     { return m.data[r*m.cols : (r+1)*m.cols] }
+
+// identity returns the n x n identity matrix.
+func identityMatrix(n int) *matrix {
+	m := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.set(i, i, 1)
+	}
+	return m
+}
+
+// vandermonde builds the rows x cols matrix with entry (r,c) = r^c.
+// Any cols distinct rows of it are linearly independent.
+func vandermonde(rows, cols int) *matrix {
+	m := newMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.set(r, c, gfPow(byte(r), c))
+		}
+	}
+	return m
+}
+
+// mul returns m * other.
+func (m *matrix) mul(other *matrix) *matrix {
+	out := newMatrix(m.rows, other.cols)
+	for r := 0; r < m.rows; r++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.at(r, k)
+			if a == 0 {
+				continue
+			}
+			mulSliceXor(a, other.row(k), out.row(r))
+		}
+	}
+	return out
+}
+
+// invert returns the inverse via Gauss-Jordan elimination, or false if m is
+// singular. m must be square.
+func (m *matrix) invert() (*matrix, bool) {
+	n := m.rows
+	work := newMatrix(n, 2*n)
+	for r := 0; r < n; r++ {
+		copy(work.row(r)[:n], m.row(r))
+		work.set(r, n+r, 1)
+	}
+	for col := 0; col < n; col++ {
+		// find pivot
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.at(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, false
+		}
+		if pivot != col {
+			pr, cr := work.row(pivot), work.row(col)
+			for i := range pr {
+				pr[i], cr[i] = cr[i], pr[i]
+			}
+		}
+		// scale pivot row to 1
+		inv := gfInv(work.at(col, col))
+		rowC := work.row(col)
+		for i := range rowC {
+			rowC[i] = gfMul(rowC[i], inv)
+		}
+		// eliminate the column everywhere else
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			factor := work.at(r, col)
+			if factor == 0 {
+				continue
+			}
+			mulSliceXor(factor, rowC, work.row(r))
+		}
+	}
+	out := newMatrix(n, n)
+	for r := 0; r < n; r++ {
+		copy(out.row(r), work.row(r)[n:])
+	}
+	return out, true
+}
+
+// subMatrix returns the matrix formed by the given rows.
+func (m *matrix) subMatrixRows(rows []int) *matrix {
+	out := newMatrix(len(rows), m.cols)
+	for i, r := range rows {
+		copy(out.row(i), m.row(r))
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package erasure
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Reed-Solomon errors.
+var (
+	ErrBadShardCounts    = errors.New("erasure: need 1 <= data shards and 0 <= parity, total <= 256")
+	ErrShardCount        = errors.New("erasure: wrong number of shards")
+	ErrShardSizeMismatch = errors.New("erasure: shards have different sizes")
+	ErrTooFewShards      = errors.New("erasure: not enough shards to reconstruct")
+	ErrShardNoData       = errors.New("erasure: shard has no data")
+	ErrPayloadTooShort   = errors.New("erasure: joined payload shorter than declared length")
+)
+
+// Code is a systematic Reed-Solomon code with k data shards and m parity
+// shards. The encoding matrix is the Vandermonde matrix made systematic by
+// multiplying with the inverse of its top k x k block, so row i < k emits
+// data shard i unchanged.
+type Code struct {
+	dataShards   int
+	parityShards int
+	// encode holds the full (k+m) x k systematic matrix.
+	encode *matrix
+}
+
+// New creates a code with the given shard counts. k must be >= 1, m >= 0,
+// and k+m <= 256 (the field size).
+func New(dataShards, parityShards int) (*Code, error) {
+	if dataShards < 1 || parityShards < 0 || dataShards+parityShards > 256 {
+		return nil, fmt.Errorf("%w: k=%d m=%d", ErrBadShardCounts, dataShards, parityShards)
+	}
+	total := dataShards + parityShards
+	vm := vandermonde(total, dataShards)
+	topRows := make([]int, dataShards)
+	for i := range topRows {
+		topRows[i] = i
+	}
+	top := vm.subMatrixRows(topRows)
+	topInv, ok := top.invert()
+	if !ok {
+		// Vandermonde top blocks are always invertible; this is unreachable
+		// but kept as a guard against table corruption.
+		return nil, errors.New("erasure: vandermonde top block singular")
+	}
+	return &Code{
+		dataShards:   dataShards,
+		parityShards: parityShards,
+		encode:       vm.mul(topInv),
+	}, nil
+}
+
+// DataShards returns k.
+func (c *Code) DataShards() int { return c.dataShards }
+
+// ParityShards returns m.
+func (c *Code) ParityShards() int { return c.parityShards }
+
+// TotalShards returns k+m.
+func (c *Code) TotalShards() int { return c.dataShards + c.parityShards }
+
+// Encode computes the parity shards for the given data shards. shards must
+// have length k+m; the first k entries must be equal-length data, and the
+// remaining m entries are overwritten (allocated if nil).
+func (c *Code) Encode(shards [][]byte) error {
+	if len(shards) != c.TotalShards() {
+		return fmt.Errorf("%w: got %d want %d", ErrShardCount, len(shards), c.TotalShards())
+	}
+	size, err := checkDataShards(shards[:c.dataShards])
+	if err != nil {
+		return err
+	}
+	for i := c.dataShards; i < len(shards); i++ {
+		if len(shards[i]) != size {
+			shards[i] = make([]byte, size)
+		} else {
+			clear(shards[i])
+		}
+		row := c.encode.row(i)
+		for j := 0; j < c.dataShards; j++ {
+			mulSliceXor(row[j], shards[j], shards[i])
+		}
+	}
+	return nil
+}
+
+func checkDataShards(data [][]byte) (int, error) {
+	if len(data) == 0 || data[0] == nil {
+		return 0, ErrShardNoData
+	}
+	size := len(data[0])
+	if size == 0 {
+		return 0, ErrShardNoData
+	}
+	for _, s := range data {
+		if len(s) != size {
+			return 0, ErrShardSizeMismatch
+		}
+	}
+	return size, nil
+}
+
+// Reconstruct fills in the missing (nil) shards in place. It needs at least
+// k present shards of equal size; on success every slot is populated and
+// the data shards equal the originals.
+func (c *Code) Reconstruct(shards [][]byte) error {
+	if len(shards) != c.TotalShards() {
+		return fmt.Errorf("%w: got %d want %d", ErrShardCount, len(shards), c.TotalShards())
+	}
+	present := make([]int, 0, len(shards))
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return ErrShardSizeMismatch
+		}
+		present = append(present, i)
+	}
+	if len(present) < c.dataShards {
+		return fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, len(present), c.dataShards)
+	}
+	if size <= 0 {
+		return ErrShardNoData
+	}
+	// Fast path: all data shards present — just re-encode parity.
+	allData := true
+	for i := 0; i < c.dataShards; i++ {
+		if shards[i] == nil {
+			allData = false
+			break
+		}
+	}
+	if !allData {
+		// Solve for the data shards using k present rows.
+		rows := present[:c.dataShards]
+		sub := c.encode.subMatrixRows(rows)
+		inv, ok := sub.invert()
+		if !ok {
+			return errors.New("erasure: decode matrix singular")
+		}
+		dataOut := make([][]byte, c.dataShards)
+		for r := 0; r < c.dataShards; r++ {
+			dataOut[r] = make([]byte, size)
+			row := inv.row(r)
+			for j, src := range rows {
+				mulSliceXor(row[j], shards[src], dataOut[r])
+			}
+		}
+		for i := 0; i < c.dataShards; i++ {
+			if shards[i] == nil {
+				shards[i] = dataOut[i]
+			}
+		}
+	}
+	// Recompute any missing parity from the (now complete) data shards.
+	for i := c.dataShards; i < len(shards); i++ {
+		if shards[i] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := c.encode.row(i)
+		for j := 0; j < c.dataShards; j++ {
+			mulSliceXor(row[j], shards[j], out)
+		}
+		shards[i] = out
+	}
+	return nil
+}
+
+// Verify recomputes parity from the data shards and reports whether every
+// shard is consistent.
+func (c *Code) Verify(shards [][]byte) (bool, error) {
+	if len(shards) != c.TotalShards() {
+		return false, fmt.Errorf("%w: got %d want %d", ErrShardCount, len(shards), c.TotalShards())
+	}
+	size, err := checkDataShards(shards[:c.dataShards])
+	if err != nil {
+		return false, err
+	}
+	buf := make([]byte, size)
+	for i := c.dataShards; i < len(shards); i++ {
+		if len(shards[i]) != size {
+			return false, ErrShardSizeMismatch
+		}
+		clear(buf)
+		row := c.encode.row(i)
+		for j := 0; j < c.dataShards; j++ {
+			mulSliceXor(row[j], shards[j], buf)
+		}
+		for b := range buf {
+			if buf[b] != shards[i][b] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Split partitions payload into k equal-size data shards (zero-padded), with
+// an 8-byte length prefix so Join can recover the exact payload. The
+// returned slice has k+m entries with parity already encoded.
+func (c *Code) Split(payload []byte) ([][]byte, error) {
+	framed := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint64(framed, uint64(len(payload)))
+	copy(framed[8:], payload)
+	shardSize := (len(framed) + c.dataShards - 1) / c.dataShards
+	if shardSize == 0 {
+		shardSize = 1
+	}
+	shards := make([][]byte, c.TotalShards())
+	for i := 0; i < c.dataShards; i++ {
+		shards[i] = make([]byte, shardSize)
+		start := i * shardSize
+		if start < len(framed) {
+			copy(shards[i], framed[start:])
+		}
+	}
+	if err := c.Encode(shards); err != nil {
+		return nil, err
+	}
+	return shards, nil
+}
+
+// Join reassembles the payload from the data shards (the first k entries of
+// shards; parity entries are ignored). All data shards must be present —
+// call Reconstruct first if any are missing.
+func (c *Code) Join(shards [][]byte) ([]byte, error) {
+	if len(shards) < c.dataShards {
+		return nil, fmt.Errorf("%w: got %d want >= %d", ErrShardCount, len(shards), c.dataShards)
+	}
+	size, err := checkDataShards(shards[:c.dataShards])
+	if err != nil {
+		return nil, err
+	}
+	framed := make([]byte, 0, size*c.dataShards)
+	for i := 0; i < c.dataShards; i++ {
+		framed = append(framed, shards[i]...)
+	}
+	if len(framed) < 8 {
+		return nil, ErrPayloadTooShort
+	}
+	n := binary.BigEndian.Uint64(framed)
+	if n > uint64(len(framed)-8) {
+		return nil, ErrPayloadTooShort
+	}
+	return framed[8 : 8+n], nil
+}

@@ -1,0 +1,396 @@
+package erasure
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"icistrategy/internal/blockcrypto"
+)
+
+func TestGFFieldAxioms(t *testing.T) {
+	// Spot-check multiplicative structure on every element.
+	for a := 1; a < 256; a++ {
+		x := byte(a)
+		if got := gfMul(x, gfInv(x)); got != 1 {
+			t.Fatalf("x * x^-1 = %d for x=%d", got, a)
+		}
+		if gfMul(x, 1) != x {
+			t.Fatalf("x*1 != x for x=%d", a)
+		}
+		if gfMul(x, 0) != 0 {
+			t.Fatalf("x*0 != 0 for x=%d", a)
+		}
+	}
+}
+
+func TestGFMulCommutativeAssociative(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		if gfMul(a, b) != gfMul(b, a) {
+			return false
+		}
+		return gfMul(gfMul(a, b), c) == gfMul(a, gfMul(b, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFDistributive(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return gfMul(a, b^c) == gfMul(a, b)^gfMul(a, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFDiv(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return gfMul(gfDiv(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFPow(t *testing.T) {
+	for _, base := range []byte{1, 2, 3, 0x53} {
+		acc := byte(1)
+		for p := 0; p < 10; p++ {
+			if got := gfPow(base, p); got != acc {
+				t.Fatalf("gfPow(%d,%d) = %d, want %d", base, p, got, acc)
+			}
+			acc = gfMul(acc, base)
+		}
+	}
+	if gfPow(0, 0) != 1 || gfPow(0, 5) != 0 {
+		t.Fatal("gfPow zero-base conventions broken")
+	}
+}
+
+func TestMatrixInvertIdentity(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16} {
+		id := identityMatrix(n)
+		inv, ok := id.invert()
+		if !ok {
+			t.Fatalf("identity(%d) reported singular", n)
+		}
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				want := byte(0)
+				if r == c {
+					want = 1
+				}
+				if inv.at(r, c) != want {
+					t.Fatalf("inv(identity) not identity at (%d,%d)", r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMatrixInvertSingular(t *testing.T) {
+	m := newMatrix(2, 2) // all zeros
+	if _, ok := m.invert(); ok {
+		t.Fatal("zero matrix inverted")
+	}
+	m.set(0, 0, 1)
+	m.set(0, 1, 1)
+	m.set(1, 0, 1)
+	m.set(1, 1, 1) // rank 1
+	if _, ok := m.invert(); ok {
+		t.Fatal("rank-1 matrix inverted")
+	}
+}
+
+func TestMatrixInvertRoundTrip(t *testing.T) {
+	rng := blockcrypto.NewRNG(5)
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(8) + 1
+		m := newMatrix(n, n)
+		for i := range m.data {
+			m.data[i] = byte(rng.Intn(256))
+		}
+		inv, ok := m.invert()
+		if !ok {
+			continue // random singular matrix; skip
+		}
+		prod := m.mul(inv)
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				want := byte(0)
+				if r == c {
+					want = 1
+				}
+				if prod.at(r, c) != want {
+					t.Fatalf("m * m^-1 != I at (%d,%d)", r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestNewCodeValidation(t *testing.T) {
+	cases := []struct{ k, m int }{{0, 2}, {-1, 0}, {1, -1}, {200, 100}}
+	for _, tc := range cases {
+		if _, err := New(tc.k, tc.m); err == nil {
+			t.Fatalf("New(%d,%d) accepted", tc.k, tc.m)
+		}
+	}
+	if _, err := New(1, 0); err != nil {
+		t.Fatalf("New(1,0): %v", err)
+	}
+}
+
+func TestEncodeSystematic(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("systematic codes leave the data shards untouched!")
+	shards, err := c.Split(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Join(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("Join = %q, want %q", got, payload)
+	}
+}
+
+func TestReconstructAllLossPatterns(t *testing.T) {
+	const k, m = 4, 3
+	c, err := New(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := blockcrypto.NewRNG(9)
+	payload := make([]byte, 1000)
+	for i := range payload {
+		payload[i] = byte(rng.Intn(256))
+	}
+	orig, err := c.Split(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := k + m
+	// Every subset of up to m erased shards must reconstruct.
+	for mask := 0; mask < 1<<total; mask++ {
+		erased := 0
+		for b := 0; b < total; b++ {
+			if mask&(1<<b) != 0 {
+				erased++
+			}
+		}
+		if erased > m {
+			continue
+		}
+		shards := make([][]byte, total)
+		for i := range shards {
+			if mask&(1<<i) == 0 {
+				shards[i] = append([]byte(nil), orig[i]...)
+			}
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatalf("mask %b: %v", mask, err)
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], orig[i]) {
+				t.Fatalf("mask %b: shard %d mismatch", mask, i)
+			}
+		}
+	}
+}
+
+func TestReconstructTooFewShards(t *testing.T) {
+	c, _ := New(4, 2)
+	shards, _ := c.Split([]byte("hello world, this is a payload"))
+	for i := 0; i < 3; i++ { // erase 3 > m=2
+		shards[i] = nil
+	}
+	if err := c.Reconstruct(shards); err == nil {
+		t.Fatal("reconstruction with k-1 shards succeeded")
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	c, _ := New(5, 3)
+	shards, _ := c.Split(bytes.Repeat([]byte("data"), 100))
+	ok, err := c.Verify(shards)
+	if err != nil || !ok {
+		t.Fatalf("clean shards: ok=%v err=%v", ok, err)
+	}
+	shards[6][7] ^= 0x40
+	ok, err = c.Verify(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("corrupted parity shard passed Verify")
+	}
+	shards[6][7] ^= 0x40
+	shards[1][0] ^= 0x01
+	ok, _ = c.Verify(shards)
+	if ok {
+		t.Fatal("corrupted data shard passed Verify")
+	}
+}
+
+func TestSplitJoinSizes(t *testing.T) {
+	c, _ := New(7, 3)
+	for _, n := range []int{0, 1, 6, 7, 8, 63, 64, 65, 1000, 4096} {
+		payload := bytes.Repeat([]byte{0xEE}, n)
+		shards, err := c.Split(payload)
+		if err != nil {
+			t.Fatalf("Split(%d bytes): %v", n, err)
+		}
+		if len(shards) != 10 {
+			t.Fatalf("Split returned %d shards", len(shards))
+		}
+		got, err := c.Join(shards)
+		if err != nil {
+			t.Fatalf("Join(%d bytes): %v", n, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip failed for %d bytes", n)
+		}
+	}
+}
+
+func TestSplitReconstructJoinProperty(t *testing.T) {
+	f := func(payload []byte, kRaw, mRaw, lossSeed uint8) bool {
+		k := int(kRaw%8) + 1
+		m := int(mRaw % 5)
+		c, err := New(k, m)
+		if err != nil {
+			return false
+		}
+		shards, err := c.Split(payload)
+		if err != nil {
+			return false
+		}
+		// Erase up to m random shards.
+		rng := blockcrypto.NewRNG(uint64(lossSeed))
+		for e := 0; e < m; e++ {
+			shards[rng.Intn(k+m)] = nil
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			return false
+		}
+		got, err := c.Join(shards)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	c, _ := New(3, 2)
+	if err := c.Encode(make([][]byte, 4)); err == nil {
+		t.Fatal("wrong shard count accepted")
+	}
+	shards := [][]byte{{1, 2}, {3}, {4, 5}, nil, nil}
+	if err := c.Encode(shards); err == nil {
+		t.Fatal("mismatched data shard sizes accepted")
+	}
+	empty := [][]byte{{}, {}, {}, nil, nil}
+	if err := c.Encode(empty); err == nil {
+		t.Fatal("empty data shards accepted")
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	c, _ := New(3, 1)
+	if _, err := c.Join([][]byte{{1}}); err == nil {
+		t.Fatal("too few shards accepted")
+	}
+	// Declared length longer than actual content must error, not panic.
+	bad := [][]byte{{0xFF, 0xFF, 0xFF}, {0xFF, 0xFF, 0xFF}, {0xFF, 0xFF, 0xFF}}
+	if _, err := c.Join(bad); err == nil {
+		t.Fatal("oversized declared length accepted")
+	}
+}
+
+func TestZeroParityCode(t *testing.T) {
+	c, err := New(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("no parity at all")
+	shards, err := c.Split(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Join(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("k-of-k round trip failed")
+	}
+	// Losing any shard is fatal with m=0.
+	shards[2] = nil
+	if err := c.Reconstruct(shards); err == nil {
+		t.Fatal("reconstruction without redundancy succeeded")
+	}
+}
+
+func TestCodeAccessors(t *testing.T) {
+	c, _ := New(16, 4)
+	if c.DataShards() != 16 || c.ParityShards() != 4 || c.TotalShards() != 20 {
+		t.Fatalf("accessors: %d %d %d", c.DataShards(), c.ParityShards(), c.TotalShards())
+	}
+}
+
+func BenchmarkEncode16x4_64KB(b *testing.B) {
+	c, _ := New(16, 4)
+	payload := make([]byte, 64*1024)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Split(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct16x4(b *testing.B) {
+	c, _ := New(16, 4)
+	payload := make([]byte, 64*1024)
+	orig, _ := c.Split(payload)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		shards := make([][]byte, len(orig))
+		for j := range orig {
+			if j >= 2 && j <= 5 {
+				continue // erase 4 shards
+			}
+			shards[j] = orig[j]
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleCode() {
+	c, _ := New(4, 2)
+	shards, _ := c.Split([]byte("any 4 of these 6 shards recover me"))
+	shards[0], shards[5] = nil, nil // lose two shards
+	_ = c.Reconstruct(shards)
+	payload, _ := c.Join(shards)
+	fmt.Println(string(payload))
+	// Output: any 4 of these 6 shards recover me
+}

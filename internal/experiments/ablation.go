@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/cluster"
+	"icistrategy/internal/core"
+	"icistrategy/internal/metrics"
+	"icistrategy/internal/simnet"
+	"icistrategy/internal/workload"
+)
+
+// E10ClusteringAblation regenerates the clustering-method ablation: on a
+// geographically clustered topology (8 regions), how does the partitioning
+// algorithm ("via clustering" is in the paper's title) affect partition
+// quality and the latency of collaborative verification?
+func E10ClusteringAblation(p Params) (*metrics.Table, error) {
+	if len(p.ProtoNetworkSizes) == 0 {
+		return nil, errors.New("experiments: ProtoNetworkSizes is empty")
+	}
+	n := p.ProtoNetworkSizes[len(p.ProtoNetworkSizes)-1]
+	m := n / p.ProtoClusterSize
+	tbl := metrics.NewTable(
+		fmt.Sprintf("E10: clustering method ablation (n=%d, m=%d, 8 latency regions)", n, m),
+		"method", "mean_intra_ms", "silhouette", "imbalance", "commit_ms")
+	rng := blockcrypto.NewRNG(p.Seed ^ 0xAB1A)
+	coords := simnet.ClusteredCoords(n, 8, 200, 2.0, rng.Fork("topo"))
+	methods := []cluster.Method{
+		cluster.BalancedKMeans, cluster.KMeans, cluster.RandomPartition, cluster.HashPartition,
+	}
+	for _, method := range methods {
+		asg, err := cluster.Partition(method, coords, m, rng.Fork(method.String()))
+		if err != nil {
+			return nil, err
+		}
+		q := cluster.Evaluate(asg, coords)
+		sys, err := core.NewSystem(core.Config{
+			Nodes:       n,
+			Clusters:    m,
+			Replication: p.Replication,
+			Method:      method,
+			Seed:        p.Seed,
+			Coords:      coords,
+		})
+		if err != nil {
+			return nil, err
+		}
+		gen, err := workload.NewGenerator(workload.Config{Accounts: 64, PayloadBytes: p.ProtoPayload, Seed: p.Seed})
+		if err != nil {
+			return nil, err
+		}
+		var total time.Duration
+		blocks := 0
+		for b := 0; b < p.ProtoBlocks; b++ {
+			d, err := commitTime(sys, gen.NextTxs(p.ProtoTxPerBlock))
+			if err != nil {
+				return nil, fmt.Errorf("%v: %w", method, err)
+			}
+			total += d
+			blocks++
+		}
+		meanMs := float64(total.Microseconds()) / 1000 / float64(blocks)
+		tbl.AddRow(method.String(), q.MeanIntraDistance, q.Silhouette, q.SizeImbalance, meanMs)
+	}
+	return tbl, nil
+}

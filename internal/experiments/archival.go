@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/metrics"
+	"icistrategy/internal/simnet"
+)
+
+// E11ArchivalTradeoff is an extension experiment (not a paper artifact):
+// the storage-overhead-vs-availability frontier of the coded archival mode
+// against plain replication. For each configuration it reports the storage
+// factor (stored bytes / body bytes) and the Monte-Carlo probability that a
+// block remains readable at 10 % and 25 % failed members.
+func E11ArchivalTradeoff(p Params) (*metrics.Table, error) {
+	tbl := metrics.NewTable(
+		fmt.Sprintf("E11 (extension): storage factor vs availability (cluster size %d, %d trials)",
+			p.ClusterSize, p.AvailTrials),
+		"scheme", "storage_factor", "avail@10%", "avail@25%")
+	members := make([]simnet.NodeID, p.ClusterSize)
+	for i := range members {
+		members[i] = simnet.NodeID(i)
+	}
+	rng := blockcrypto.NewRNG(p.Seed ^ 0xE11)
+
+	avail := func(eval func(seed uint64, down map[simnet.NodeID]bool) bool, frac float64) float64 {
+		failures := int(frac * float64(p.ClusterSize))
+		ok := 0
+		for trial := 0; trial < p.AvailTrials; trial++ {
+			seed := rng.Uint64()
+			down := failSet(members, failures, rng)
+			if eval(seed, down) {
+				ok++
+			}
+		}
+		return float64(ok) / float64(p.AvailTrials)
+	}
+
+	// Plain replication r = 1..3.
+	for r := 1; r <= 3; r++ {
+		r := r
+		if r > p.ClusterSize {
+			continue
+		}
+		eval := func(seed uint64, down map[simnet.NodeID]bool) bool {
+			return replicatedBlockAvailable(seed, members, down, r)
+		}
+		tbl.AddRow(fmt.Sprintf("replication r=%d", r), float64(r),
+			avail(eval, 0.10), avail(eval, 0.25))
+	}
+	// Coded archival RS(c-p, p) for a parity sweep.
+	for _, parity := range []int{p.ClusterSize / 16, p.ClusterSize / 8, p.ClusterSize / 4, p.ClusterSize / 2} {
+		if parity < 1 || parity >= p.ClusterSize {
+			continue
+		}
+		k := p.ClusterSize - parity
+		eval := func(seed uint64, down map[simnet.NodeID]bool) bool {
+			return codedBlockAvailable(seed, members, down, k, p.ClusterSize)
+		}
+		factor := float64(p.ClusterSize) / float64(k)
+		tbl.AddRow(fmt.Sprintf("coded RS(%d,%d)", k, p.ClusterSize), factor,
+			avail(eval, 0.10), avail(eval, 0.25))
+	}
+	return tbl, nil
+}

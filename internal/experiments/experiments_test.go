@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell parses table cell (r, c) of the rendered CSV as float64.
+func cell(t *testing.T, csv string, row, col int) float64 {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if row+1 >= len(lines) {
+		t.Fatalf("row %d out of range in:\n%s", row, csv)
+	}
+	cells := strings.Split(lines[row+1], ",")
+	if col >= len(cells) {
+		t.Fatalf("col %d out of range in row %q", col, lines[row+1])
+	}
+	v, err := strconv.ParseFloat(cells[col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q is not numeric", row, col, cells[col])
+	}
+	return v
+}
+
+func TestAllExperimentsRunAtQuickScale(t *testing.T) {
+	p := Quick()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(p)
+			if err != nil {
+				t.Fatalf("%s (%s): %v", e.ID, e.Name, err)
+			}
+			if tbl.NumRows() == 0 {
+				t.Fatalf("%s produced an empty table", e.ID)
+			}
+			if tbl.String() == "" || tbl.CSV() == "" {
+				t.Fatalf("%s renders empty", e.ID)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E3"); !ok {
+		t.Fatal("E3 not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("phantom experiment found")
+	}
+}
+
+func TestE1ShapesHold(t *testing.T) {
+	p := Quick()
+	tbl, err := E1StorageVsChainLength(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := tbl.CSV()
+	rows := tbl.NumRows()
+	// Storage grows with the chain for every strategy, and the ordering
+	// full > rapidchain > ici holds at every checkpoint.
+	var prevFull float64
+	for r := 0; r < rows; r++ {
+		full := cell(t, csv, r, 1)
+		rapid := cell(t, csv, r, 2)
+		ici := cell(t, csv, r, 3)
+		if !(full > rapid && rapid > ici) {
+			t.Fatalf("row %d: ordering broken: full=%v rapid=%v ici=%v", r, full, rapid, ici)
+		}
+		if full <= prevFull {
+			t.Fatalf("row %d: full storage did not grow", r)
+		}
+		prevFull = full
+	}
+}
+
+func TestE3HeadlineRatio(t *testing.T) {
+	// The abstract's claim: at the paper configuration (committee = 4x
+	// cluster size), ICI r=1 needs ~25 % of RapidChain's storage. Quick()
+	// keeps the same 4x ratio, so the number must reproduce.
+	p := Quick()
+	tbl, err := E3StorageSummary(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := tbl.CSV()
+	// Rows: full, rapidchain, ici r=1, ici r=2, ici r=3.
+	r1VsRapid := cell(t, csv, 2, 3)
+	if r1VsRapid < 0.22 || r1VsRapid > 0.28 {
+		t.Fatalf("ici(r=1)/rapidchain = %v, want ~0.25", r1VsRapid)
+	}
+	// Replication scales the footprint linearly.
+	r2VsRapid := cell(t, csv, 3, 3)
+	if r2VsRapid < 1.8*r1VsRapid || r2VsRapid > 2.2*r1VsRapid {
+		t.Fatalf("r=2 ratio %v not ~2x r=1 ratio %v", r2VsRapid, r1VsRapid)
+	}
+}
+
+func TestE4ICIBeatsFullReplication(t *testing.T) {
+	p := Quick()
+	tbl, err := E4CommunicationOverhead(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := tbl.CSV()
+	for r := 0; r < tbl.NumRows(); r++ {
+		full := cell(t, csv, r, 1)
+		ici := cell(t, csv, r, 3)
+		if ici >= full {
+			t.Fatalf("row %d: ICI bytes/node %v >= full replication %v", r, ici, full)
+		}
+	}
+}
+
+func TestE5BootstrapOrdering(t *testing.T) {
+	p := Quick()
+	tbl, err := E5BootstrapCost(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := tbl.CSV()
+	last := tbl.NumRows() - 1
+	full := cell(t, csv, last, 1)
+	rapid := cell(t, csv, last, 3)
+	ici := cell(t, csv, last, 5)
+	if !(ici < rapid && rapid < full) {
+		t.Fatalf("bootstrap ordering broken: full=%v rapid=%v ici=%v", full, rapid, ici)
+	}
+}
+
+func TestE7AvailabilityMonotone(t *testing.T) {
+	p := Quick()
+	p.AvailTrials = 200
+	tbl, err := E7Availability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := tbl.CSV()
+	rows := tbl.NumRows()
+	for r := 0; r < rows; r++ {
+		r1 := cell(t, csv, r, 1)
+		r2 := cell(t, csv, r, 2)
+		r3 := cell(t, csv, r, 3)
+		rs := cell(t, csv, r, 4)
+		// More redundancy never hurts.
+		if r2 < r1 || r3 < r2 {
+			t.Fatalf("row %d: availability not monotone in r: %v %v %v", r, r1, r2, r3)
+		}
+		// RS(16,20) dominates r=1 (same storage class, coded redundancy).
+		if rs < r1 {
+			t.Fatalf("row %d: RS availability %v below r=1 %v", r, rs, r1)
+		}
+	}
+	// At the smallest failure fraction, r=3 should be essentially perfect.
+	if r3 := cell(t, csv, 0, 3); r3 < 0.99 {
+		t.Fatalf("r=3 availability at 5%% failures = %v", r3)
+	}
+}
+
+func TestE8SavingsBelowOne(t *testing.T) {
+	p := Quick()
+	tbl, err := E8BootstrapSavings(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := tbl.CSV()
+	for r := 0; r < tbl.NumRows(); r++ {
+		vsFull := cell(t, csv, r, 1)
+		vsRapid := cell(t, csv, r, 2)
+		if vsFull >= 1 || vsRapid >= 1 {
+			t.Fatalf("row %d: no bootstrap savings: vs full %v, vs rapid %v", r, vsFull, vsRapid)
+		}
+	}
+}

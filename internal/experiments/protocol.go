@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"icistrategy/internal/chain"
+	"icistrategy/internal/core"
+	"icistrategy/internal/metrics"
+	"icistrategy/internal/workload"
+)
+
+// ErrNeverCommitted is returned when a protocol measurement drains the
+// event queue without the block committing anywhere.
+var ErrNeverCommitted = errors.New("experiments: block never committed")
+
+// commitTime produces one block and steps the simulator until every live
+// node has committed it, returning the elapsed virtual time. Remaining
+// events (idle coverage timers) are drained afterwards so the next
+// measurement starts clean.
+func commitTime(sys *core.System, txs []*chain.Transaction) (time.Duration, error) {
+	start := sys.Network().Now()
+	b, err := sys.ProduceBlock(txs)
+	if err != nil {
+		return 0, err
+	}
+	hash := b.Hash()
+	var committedAt time.Duration
+	committed := false
+	for sys.Network().Step() {
+		if !committed && sys.AllCommitted(hash) {
+			committedAt = sys.Network().Now()
+			committed = true
+		}
+	}
+	if !committed {
+		if sys.AllCommitted(hash) {
+			committedAt = sys.Network().Now()
+		} else {
+			return 0, ErrNeverCommitted
+		}
+	}
+	return committedAt - start, nil
+}
+
+// E6VerificationLatency regenerates the "verification latency vs cluster
+// size" figure: virtual time from block production to full-cluster commit
+// for a single cluster of growing size, against the time a single node
+// would need just to download the full block from the producer.
+func E6VerificationLatency(p Params) (*metrics.Table, error) {
+	tbl := metrics.NewTable(
+		fmt.Sprintf("E6: collaborative verification latency (%d txs per block)", p.ProtoTxPerBlock),
+		"cluster_size", "ici_commit_ms", "full_download_ms", "chunk_KB")
+	bodySize, err := p.protoBodySize()
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range p.ProtoClusterSizes {
+		sys, err := core.NewSystem(core.Config{
+			Nodes:       c,
+			Clusters:    1,
+			Replication: p.Replication,
+			Seed:        p.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		gen, err := workload.NewGenerator(workload.Config{Accounts: 64, PayloadBytes: p.ProtoPayload, Seed: p.Seed})
+		if err != nil {
+			return nil, err
+		}
+		var hist metrics.Histogram
+		for b := 0; b < p.ProtoBlocks; b++ {
+			d, err := commitTime(sys, gen.NextTxs(p.ProtoTxPerBlock))
+			if err != nil {
+				return nil, fmt.Errorf("cluster size %d: %w", c, err)
+			}
+			hist.Observe(float64(d.Microseconds()) / 1000)
+		}
+		// Baseline: one 20 Mbit/s transfer of the whole body plus the base
+		// RTT — what a non-collaborative node pays before verifying alone.
+		const bps = 20e6 / 8
+		download := float64(bodySize)/bps*1000 + 10 // ms
+		tbl.AddRow(c, hist.Mean(), download, kb(float64(bodySize)/float64(c)))
+	}
+	return tbl, nil
+}
+
+// E9Throughput regenerates the "throughput vs number of clusters" figure:
+// sequentially committed transactions per virtual second as the fixed-size
+// network is divided into more (hence smaller) clusters. Uplink
+// serialization is enabled so the producer's fan-out to cluster leaders is
+// a real cost — the curve shows the trade-off the paper's clustering knob
+// controls.
+func E9Throughput(p Params) (*metrics.Table, error) {
+	if len(p.ProtoNetworkSizes) == 0 {
+		return nil, errors.New("experiments: ProtoNetworkSizes is empty")
+	}
+	n := p.ProtoNetworkSizes[len(p.ProtoNetworkSizes)-1]
+	tbl := metrics.NewTable(
+		fmt.Sprintf("E9: sequential commit throughput (n=%d, %d txs per block, 20 Mbit/s uplinks)",
+			n, p.ProtoTxPerBlock),
+		"clusters", "cluster_size", "mean_commit_ms", "tx_per_sec")
+	for _, m := range p.ProtoClusterCount {
+		if n/m < 2 {
+			continue
+		}
+		sys, err := core.NewSystem(core.Config{
+			Nodes:             n,
+			Clusters:          m,
+			Replication:       p.Replication,
+			Seed:              p.Seed,
+			UplinkBytesPerSec: 20e6 / 8,
+		})
+		if err != nil {
+			return nil, err
+		}
+		gen, err := workload.NewGenerator(workload.Config{Accounts: 64, PayloadBytes: p.ProtoPayload, Seed: p.Seed})
+		if err != nil {
+			return nil, err
+		}
+		var total time.Duration
+		for b := 0; b < p.ProtoBlocks; b++ {
+			d, err := commitTime(sys, gen.NextTxs(p.ProtoTxPerBlock))
+			if err != nil {
+				return nil, fmt.Errorf("m=%d: %w", m, err)
+			}
+			total += d
+		}
+		meanMs := float64(total.Microseconds()) / 1000 / float64(p.ProtoBlocks)
+		tps := float64(p.ProtoTxPerBlock) / (meanMs / 1000)
+		tbl.AddRow(m, n/m, meanMs, tps)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"icistrategy/internal/core"
+	"icistrategy/internal/metrics"
+	"icistrategy/internal/workload"
+)
+
+// E12RepairCost is an extension experiment: the network cost of restoring
+// intra-cluster integrity after a permanent departure, as a function of
+// cluster size and replication. The ideal repair moves exactly the bytes
+// the departed member held; the overhead column shows how close the
+// protocol gets (extra cost is proofs and fetch framing).
+func E12RepairCost(p Params) (*metrics.Table, error) {
+	tbl := metrics.NewTable(
+		fmt.Sprintf("E12 (extension): repair cost after one departure (%d blocks of %d txs)",
+			p.ProtoBlocks*2, p.ProtoTxPerBlock),
+		"cluster_size", "r", "departed_KB", "repair_KB", "overhead", "lost_chunks")
+	for _, c := range p.ProtoClusterSizes {
+		if c < 4 {
+			continue
+		}
+		for _, r := range []int{2, 3} {
+			if r > c {
+				continue
+			}
+			sys, err := core.NewSystem(core.Config{
+				Nodes:       c,
+				Clusters:    1,
+				Replication: r,
+				Seed:        p.Seed + uint64(c*10+r),
+			})
+			if err != nil {
+				return nil, err
+			}
+			gen, err := workload.NewGenerator(workload.Config{Accounts: 64, PayloadBytes: p.ProtoPayload, Seed: p.Seed})
+			if err != nil {
+				return nil, err
+			}
+			for b := 0; b < p.ProtoBlocks*2; b++ {
+				if _, err := sys.ProduceBlock(gen.NextTxs(p.ProtoTxPerBlock)); err != nil {
+					return nil, err
+				}
+				sys.Network().RunUntilIdle()
+			}
+			members, err := sys.ClusterMembers(0)
+			if err != nil {
+				return nil, err
+			}
+			victim := members[1]
+			vnode, err := sys.Node(victim)
+			if err != nil {
+				return nil, err
+			}
+			departedBytes := vnode.Store().Stats().ChunkBytes
+			if err := sys.RemoveNode(victim); err != nil {
+				return nil, err
+			}
+			sys.Network().ResetTraffic()
+			lost := -1
+			if err := sys.RepairCluster(0, func(l int) { lost = l }); err != nil {
+				return nil, err
+			}
+			sys.Network().RunUntilIdle()
+			repairBytes := sys.Network().TotalTraffic().BytesRecv
+			overhead := 0.0
+			if departedBytes > 0 {
+				overhead = float64(repairBytes) / float64(departedBytes)
+			}
+			tbl.AddRow(c, r, kb(float64(departedBytes)), kb(float64(repairBytes)), overhead, lost)
+		}
+	}
+	return tbl, nil
+}

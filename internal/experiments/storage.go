@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+
+	"icistrategy/internal/baseline"
+	"icistrategy/internal/core"
+	"icistrategy/internal/metrics"
+	"icistrategy/internal/strategy"
+)
+
+// buildAccountants constructs the three strategy accountants at network
+// size n.
+func (p Params) buildAccountants(n int) (full *strategy.FullReplication, rapid *baseline.RapidChain, ici *core.Accountant, err error) {
+	iciAsg, commAsg, err := p.assignments(n)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rapid, err = baseline.NewRapidChain(commAsg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ici, err = core.NewAccountant(iciAsg, p.Replication)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return strategy.NewFullReplication(n), rapid, ici, nil
+}
+
+// E1StorageVsChainLength regenerates the "per-node storage vs chain length"
+// figure: mean per-node storage (MB) of Full replication, RapidChain, and
+// ICIStrategy as the chain grows to MaxBlocks 1-MiB blocks.
+func E1StorageVsChainLength(p Params) (*metrics.Table, error) {
+	full, rapid, ici, err := p.buildAccountants(p.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable(
+		fmt.Sprintf("E1: per-node storage vs chain length (n=%d, c=%d, committee=%d, r=%d, block=%s)",
+			p.Nodes, p.ClusterSize, p.CommitteeSize, p.Replication, metrics.HumanBytes(float64(p.BlockBody))),
+		"blocks", "full_MB", "rapidchain_MB", "ici_MB", "ici/rapid")
+	checkpoints := 8
+	step := p.MaxBlocks / checkpoints
+	if step == 0 {
+		step = 1
+	}
+	for b := 1; b <= p.MaxBlocks; b++ {
+		full.AddBlock(p.BlockBody)
+		rapid.AddBlock(p.BlockBody)
+		ici.AddBlock(p.BlockBody)
+		if b%step != 0 {
+			continue
+		}
+		fm, err := strategy.MeanNodeBytes(full)
+		if err != nil {
+			return nil, err
+		}
+		rm, err := strategy.MeanNodeBytes(rapid)
+		if err != nil {
+			return nil, err
+		}
+		im, err := strategy.MeanNodeBytes(ici)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(b, mb(fm), mb(rm), mb(im), ratio(im, rm))
+	}
+	return tbl, nil
+}
+
+// E2StorageVsNetworkSize regenerates the "per-node storage vs network size"
+// figure at a fixed chain length: as n grows, RapidChain gains shards
+// (k = n / committee) and ICI gains clusters, but ICI's per-node share
+// stays r·D/c — constant and 1/4 of RapidChain's at the default sizes.
+func E2StorageVsNetworkSize(p Params) (*metrics.Table, error) {
+	blocks := p.MaxBlocks / 4
+	if blocks == 0 {
+		blocks = 1
+	}
+	tbl := metrics.NewTable(
+		fmt.Sprintf("E2: per-node storage vs network size (%d blocks of %s)",
+			blocks, metrics.HumanBytes(float64(p.BlockBody))),
+		"nodes", "full_MB", "rapidchain_MB", "ici_MB", "ici/rapid")
+	for _, n := range p.networkSizes() {
+		full, rapid, ici, err := p.buildAccountants(n)
+		if err != nil {
+			return nil, err
+		}
+		for b := 0; b < blocks; b++ {
+			full.AddBlock(p.BlockBody)
+			rapid.AddBlock(p.BlockBody)
+			ici.AddBlock(p.BlockBody)
+		}
+		fm, err := strategy.MeanNodeBytes(full)
+		if err != nil {
+			return nil, err
+		}
+		rm, err := strategy.MeanNodeBytes(rapid)
+		if err != nil {
+			return nil, err
+		}
+		im, err := strategy.MeanNodeBytes(ici)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(n, mb(fm), mb(rm), mb(im), ratio(im, rm))
+	}
+	return tbl, nil
+}
+
+// networkSizes returns the sweep of n for E2: four doublings ending at
+// p.Nodes.
+func (p Params) networkSizes() []int {
+	sizes := []int{p.Nodes / 8, p.Nodes / 4, p.Nodes / 2, p.Nodes}
+	out := sizes[:0]
+	for _, n := range sizes {
+		if n >= p.CommitteeSize {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// E3StorageSummary regenerates the headline storage table at the default
+// configuration, including the abstract's "25 % of RapidChain" claim and
+// the replication sweep.
+func E3StorageSummary(p Params) (*metrics.Table, error) {
+	tbl := metrics.NewTable(
+		fmt.Sprintf("E3: storage summary after %d blocks of %s (n=%d)",
+			p.MaxBlocks, metrics.HumanBytes(float64(p.BlockBody)), p.Nodes),
+		"strategy", "per-node", "vs full", "vs rapidchain")
+	full, rapid, ici1, err := p.buildAccountants(p.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	iciAsg, _, err := p.assignments(p.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	var icis []*core.Accountant
+	icis = append(icis, ici1)
+	for _, r := range []int{2, 3} {
+		if r > p.ClusterSize {
+			continue
+		}
+		acc, err := core.NewAccountant(iciAsg, r)
+		if err != nil {
+			return nil, err
+		}
+		icis = append(icis, acc)
+	}
+	for b := 0; b < p.MaxBlocks; b++ {
+		full.AddBlock(p.BlockBody)
+		rapid.AddBlock(p.BlockBody)
+		for _, acc := range icis {
+			acc.AddBlock(p.BlockBody)
+		}
+	}
+	fm, err := strategy.MeanNodeBytes(full)
+	if err != nil {
+		return nil, err
+	}
+	rm, err := strategy.MeanNodeBytes(rapid)
+	if err != nil {
+		return nil, err
+	}
+	tbl.AddRow("full replication", metrics.HumanBytes(fm), 1.0, ratio(fm, rm))
+	tbl.AddRow("rapidchain", metrics.HumanBytes(rm), ratio(rm, fm), 1.0)
+	for _, acc := range icis {
+		im, err := strategy.MeanNodeBytes(acc)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(fmt.Sprintf("ici (r=%d)", acc.Replication()),
+			metrics.HumanBytes(im), ratio(im, fm), ratio(im, rm))
+	}
+	return tbl, nil
+}
+
+// E5BootstrapCost regenerates the "bootstrap cost vs chain length" figure:
+// bytes a fresh node downloads to join, and the implied time at 20 Mbit/s.
+func E5BootstrapCost(p Params) (*metrics.Table, error) {
+	full, rapid, ici, err := p.buildAccountants(p.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable(
+		fmt.Sprintf("E5: bootstrap download vs chain length (n=%d, 20 Mbit/s)", p.Nodes),
+		"blocks", "full_MB", "full_s", "rapidchain_MB", "rapid_s", "ici_MB", "ici_s")
+	checkpoints := 8
+	step := p.MaxBlocks / checkpoints
+	if step == 0 {
+		step = 1
+	}
+	const mbitPerSec = 20e6 / 8
+	for b := 1; b <= p.MaxBlocks; b++ {
+		full.AddBlock(p.BlockBody)
+		rapid.AddBlock(p.BlockBody)
+		ici.AddBlock(p.BlockBody)
+		if b%step != 0 {
+			continue
+		}
+		fb := meanBootstrap(full)
+		rb := meanBootstrap(rapid)
+		ib := meanBootstrap(ici)
+		tbl.AddRow(b, mb(fb), fb/mbitPerSec, mb(rb), rb/mbitPerSec, mb(ib), ib/mbitPerSec)
+	}
+	return tbl, nil
+}
+
+// E8BootstrapSavings regenerates the bootstrap savings table: the ratio of
+// ICI bootstrap bytes to both baselines across chain lengths.
+func E8BootstrapSavings(p Params) (*metrics.Table, error) {
+	full, rapid, ici, err := p.buildAccountants(p.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable(
+		fmt.Sprintf("E8: bootstrap savings (n=%d, c=%d, r=%d)", p.Nodes, p.ClusterSize, p.Replication),
+		"blocks", "ici/full", "ici/rapidchain")
+	checkpoints := 4
+	step := p.MaxBlocks / checkpoints
+	if step == 0 {
+		step = 1
+	}
+	for b := 1; b <= p.MaxBlocks; b++ {
+		full.AddBlock(p.BlockBody)
+		rapid.AddBlock(p.BlockBody)
+		ici.AddBlock(p.BlockBody)
+		if b%step != 0 {
+			continue
+		}
+		tbl.AddRow(b, ratio(meanBootstrap(ici), meanBootstrap(full)),
+			ratio(meanBootstrap(ici), meanBootstrap(rapid)))
+	}
+	return tbl, nil
+}
+
+func meanBootstrap(a strategy.Accountant) float64 {
+	n := a.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	var sum int64
+	for i := 0; i < n; i++ {
+		b, err := a.BootstrapBytes(i)
+		if err != nil {
+			continue
+		}
+		sum += b
+	}
+	return float64(sum) / float64(n)
+}
+
+func mb(bytes float64) float64 { return bytes / (1 << 20) }
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

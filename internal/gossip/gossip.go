@@ -1,0 +1,216 @@
+// Package gossip provides the broadcast primitives the strategies use on
+// top of the simulated network:
+//
+//   - Flooder: push gossip with duplicate suppression and configurable
+//     fanout — the Bitcoin-style dissemination the full-replication
+//     baseline pays for (every node receives a block several times).
+//   - Tree: deterministic balanced b-ary multicast over an ordered member
+//     list — each member receives the payload exactly once. The RapidChain
+//     baseline uses it to model IDA-gossip's near-1x dissemination inside a
+//     committee, and ICIStrategy's leaders use it for header announcements.
+//
+// Both primitives are per-node engines: the owning node's message
+// dispatcher forwards envelopes of the engine's kind to HandleMessage.
+package gossip
+
+import (
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/simnet"
+)
+
+// Envelope wraps a gossiped payload with its dedup identity.
+type Envelope struct {
+	ID      blockcrypto.Hash
+	Payload any
+}
+
+// Deliver is invoked exactly once per engine per unique gossip ID, on the
+// first arrival.
+type Deliver func(net *simnet.Network, from simnet.NodeID, env Envelope, size int)
+
+// Flooder implements push gossip: on first receipt of an ID, deliver it and
+// relay to Fanout random peers (excluding the sender). Duplicates are
+// counted but not re-relayed, which is exactly the redundancy the
+// communication experiment measures.
+type Flooder struct {
+	Self    simnet.NodeID
+	Peers   []simnet.NodeID // candidate relay targets, excluding Self
+	Fanout  int
+	Kind    string // message kind on the wire, e.g. "flood/block"
+	OnFirst Deliver
+
+	rng        *blockcrypto.RNG
+	seen       map[blockcrypto.Hash]bool
+	duplicates int64
+}
+
+// NewFlooder builds a flooding engine for one node.
+func NewFlooder(self simnet.NodeID, peers []simnet.NodeID, fanout int, kind string, rng *blockcrypto.RNG, onFirst Deliver) *Flooder {
+	return &Flooder{
+		Self:    self,
+		Peers:   peers,
+		Fanout:  fanout,
+		Kind:    kind,
+		OnFirst: onFirst,
+		rng:     rng,
+		seen:    make(map[blockcrypto.Hash]bool),
+	}
+}
+
+// Broadcast originates a new gossip: delivers locally and relays.
+func (f *Flooder) Broadcast(net *simnet.Network, env Envelope, size int) {
+	if f.seen[env.ID] {
+		return
+	}
+	f.seen[env.ID] = true
+	f.relay(net, env, size, f.Self)
+}
+
+// HandleMessage processes an incoming flood message; the node dispatcher
+// routes messages of f.Kind here.
+func (f *Flooder) HandleMessage(net *simnet.Network, msg simnet.Message) {
+	env, ok := msg.Payload.(Envelope)
+	if !ok {
+		return
+	}
+	if f.seen[env.ID] {
+		f.duplicates++
+		return
+	}
+	f.seen[env.ID] = true
+	if f.OnFirst != nil {
+		f.OnFirst(net, msg.From, env, msg.Size)
+	}
+	f.relay(net, env, msg.Size, msg.From)
+}
+
+// Duplicates returns how many redundant copies this node received.
+func (f *Flooder) Duplicates() int64 { return f.duplicates }
+
+func (f *Flooder) relay(net *simnet.Network, env Envelope, size int, exclude simnet.NodeID) {
+	if f.Fanout <= 0 || len(f.Peers) == 0 {
+		return
+	}
+	targets := pickDistinct(f.Peers, f.Fanout, exclude, f.rng)
+	for _, t := range targets {
+		// Best effort: a down peer drops the copy, which is what real
+		// gossip tolerates by design.
+		_ = net.Send(simnet.Message{From: f.Self, To: t, Kind: f.Kind, Size: size, Payload: env})
+	}
+}
+
+// pickDistinct samples up to k distinct peers, skipping exclude.
+func pickDistinct(peers []simnet.NodeID, k int, exclude simnet.NodeID, rng *blockcrypto.RNG) []simnet.NodeID {
+	if k >= len(peers) {
+		out := make([]simnet.NodeID, 0, len(peers))
+		for _, p := range peers {
+			if p != exclude {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	out := make([]simnet.NodeID, 0, k)
+	seen := make(map[simnet.NodeID]bool, k+1)
+	seen[exclude] = true
+	for attempts := 0; len(out) < k && attempts < 8*k+16; attempts++ {
+		p := peers[rng.Intn(len(peers))]
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// Tree is a deterministic balanced b-ary multicast over an ordered member
+// list. Every member receives the payload exactly once; the position of a
+// node in the list determines its children. The root is the list position
+// of the originator.
+type Tree struct {
+	Members []simnet.NodeID // full ordered membership, including Self
+	Self    simnet.NodeID
+	Arity   int
+	Kind    string
+	OnFirst Deliver
+
+	seen map[blockcrypto.Hash]bool
+}
+
+// NewTree builds a tree-multicast engine for one node.
+func NewTree(self simnet.NodeID, members []simnet.NodeID, arity int, kind string, onFirst Deliver) *Tree {
+	if arity < 2 {
+		arity = 2
+	}
+	return &Tree{
+		Members: members,
+		Self:    self,
+		Arity:   arity,
+		Kind:    kind,
+		OnFirst: onFirst,
+		seen:    make(map[blockcrypto.Hash]bool),
+	}
+}
+
+// treeEnvelope carries the rotation so every node computes the same tree.
+type treeEnvelope struct {
+	Env  Envelope
+	Root int // index of the originator in Members
+}
+
+// indexOf returns the position of id in members, or -1.
+func indexOf(members []simnet.NodeID, id simnet.NodeID) int {
+	for i, m := range members {
+		if m == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Broadcast originates a multicast from Self to all other members.
+func (t *Tree) Broadcast(net *simnet.Network, env Envelope, size int) {
+	root := indexOf(t.Members, t.Self)
+	if root < 0 {
+		return
+	}
+	t.seen[env.ID] = true
+	t.forward(net, treeEnvelope{Env: env, Root: root}, size, 0)
+}
+
+// HandleMessage processes an incoming tree multicast message.
+func (t *Tree) HandleMessage(net *simnet.Network, msg simnet.Message) {
+	te, ok := msg.Payload.(treeEnvelope)
+	if !ok {
+		return
+	}
+	if t.seen[te.Env.ID] {
+		return
+	}
+	t.seen[te.Env.ID] = true
+	if t.OnFirst != nil {
+		t.OnFirst(net, msg.From, te.Env, msg.Size)
+	}
+	self := indexOf(t.Members, t.Self)
+	if self < 0 {
+		return
+	}
+	// Virtual position relative to the root rotation.
+	n := len(t.Members)
+	pos := (self - te.Root + n) % n
+	t.forward(net, te, msg.Size, pos)
+}
+
+// forward sends to the children of virtual position pos.
+func (t *Tree) forward(net *simnet.Network, te treeEnvelope, size int, pos int) {
+	n := len(t.Members)
+	for c := 1; c <= t.Arity; c++ {
+		child := pos*t.Arity + c
+		if child >= n {
+			break
+		}
+		target := t.Members[(child+te.Root)%n]
+		_ = net.Send(simnet.Message{From: t.Self, To: target, Kind: t.Kind, Size: size, Payload: te})
+	}
+}

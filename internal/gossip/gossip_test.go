@@ -1,0 +1,226 @@
+package gossip
+
+import (
+	"testing"
+	"time"
+
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/simnet"
+)
+
+// floodNet wires n nodes, each running a Flooder, and returns per-node
+// delivery counts.
+func floodNet(t *testing.T, n, fanout int) (*simnet.Network, []*Flooder, []int) {
+	t.Helper()
+	net := simnet.New(simnet.ConstantLatency(time.Millisecond))
+	ids := make([]simnet.NodeID, n)
+	for i := range ids {
+		ids[i] = simnet.NodeID(i)
+	}
+	flooders := make([]*Flooder, n)
+	delivered := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		peers := make([]simnet.NodeID, 0, n-1)
+		for _, id := range ids {
+			if id != ids[i] {
+				peers = append(peers, id)
+			}
+		}
+		flooders[i] = NewFlooder(ids[i], peers, fanout, "flood/test",
+			blockcrypto.NewRNG(uint64(100+i)),
+			func(_ *simnet.Network, _ simnet.NodeID, _ Envelope, _ int) {
+				delivered[i]++
+			})
+		f := flooders[i]
+		if err := net.AddNode(ids[i], simnet.HandlerFunc(func(nw *simnet.Network, m simnet.Message) {
+			f.HandleMessage(nw, m)
+		}), simnet.Coord{X: float64(i), Y: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net, flooders, delivered
+}
+
+func TestFloodReachesEveryone(t *testing.T) {
+	// Push gossip needs fanout ≳ ln(n) for full coverage; 8 over 50 nodes
+	// is comfortably above, and the seeded RNG keeps the run deterministic.
+	net, flooders, delivered := floodNet(t, 50, 8)
+	env := Envelope{ID: blockcrypto.Sum256([]byte("block-1")), Payload: "b"}
+	flooders[0].Broadcast(net, env, 1000)
+	net.RunUntilIdle()
+	for i := 1; i < len(delivered); i++ {
+		if delivered[i] != 1 {
+			t.Fatalf("node %d delivered %d times, want exactly 1", i, delivered[i])
+		}
+	}
+	if delivered[0] != 0 {
+		t.Fatal("originator delivered its own gossip via OnFirst")
+	}
+}
+
+func TestFloodDuplicateSuppression(t *testing.T) {
+	net, flooders, _ := floodNet(t, 30, 6)
+	env := Envelope{ID: blockcrypto.Sum256([]byte("dup")), Payload: nil}
+	flooders[0].Broadcast(net, env, 100)
+	net.RunUntilIdle()
+	var dups int64
+	for _, f := range flooders {
+		dups += f.Duplicates()
+	}
+	if dups == 0 {
+		t.Fatal("fanout 6 in a 30-node flood should produce duplicates")
+	}
+	// Total receives = deliveries + duplicates = total sends.
+	total := net.TotalTraffic()
+	if total.MsgsRecv != total.MsgsSent {
+		t.Fatalf("recv %d != sent %d with no failures", total.MsgsRecv, total.MsgsSent)
+	}
+}
+
+func TestFloodRebroadcastIgnored(t *testing.T) {
+	net, flooders, delivered := floodNet(t, 10, 3)
+	env := Envelope{ID: blockcrypto.Sum256([]byte("again")), Payload: nil}
+	flooders[0].Broadcast(net, env, 10)
+	flooders[0].Broadcast(net, env, 10) // same ID again: no-op
+	net.RunUntilIdle()
+	for i := 1; i < 10; i++ {
+		if delivered[i] != 1 {
+			t.Fatalf("node %d delivered %d times", i, delivered[i])
+		}
+	}
+}
+
+func TestFloodSurvivesFailures(t *testing.T) {
+	net, flooders, delivered := floodNet(t, 60, 6)
+	// Fail 5 nodes; gossip must still reach the vast majority.
+	for i := 1; i <= 5; i++ {
+		if err := net.SetDown(simnet.NodeID(i), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env := Envelope{ID: blockcrypto.Sum256([]byte("resilient")), Payload: nil}
+	flooders[0].Broadcast(net, env, 50)
+	net.RunUntilIdle()
+	reached := 0
+	for i := 6; i < 60; i++ {
+		if delivered[i] == 1 {
+			reached++
+		}
+	}
+	if reached < 50 {
+		t.Fatalf("only %d of 54 live nodes reached", reached)
+	}
+}
+
+func TestPickDistinct(t *testing.T) {
+	rng := blockcrypto.NewRNG(4)
+	peers := []simnet.NodeID{1, 2, 3, 4, 5}
+	got := pickDistinct(peers, 3, 2, rng)
+	if len(got) != 3 {
+		t.Fatalf("picked %d, want 3", len(got))
+	}
+	seen := map[simnet.NodeID]bool{}
+	for _, p := range got {
+		if p == 2 {
+			t.Fatal("excluded peer picked")
+		}
+		if seen[p] {
+			t.Fatal("duplicate pick")
+		}
+		seen[p] = true
+	}
+	// k >= len(peers) returns everyone except the excluded.
+	all := pickDistinct(peers, 10, 3, rng)
+	if len(all) != 4 {
+		t.Fatalf("pickDistinct(all) returned %d", len(all))
+	}
+}
+
+// treeNet wires n nodes each running a Tree engine.
+func treeNet(t *testing.T, n, arity int) (*simnet.Network, []*Tree, []int) {
+	t.Helper()
+	net := simnet.New(simnet.ConstantLatency(time.Millisecond))
+	members := make([]simnet.NodeID, n)
+	for i := range members {
+		members[i] = simnet.NodeID(i)
+	}
+	trees := make([]*Tree, n)
+	delivered := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		trees[i] = NewTree(members[i], members, arity, "tree/test",
+			func(_ *simnet.Network, _ simnet.NodeID, _ Envelope, _ int) {
+				delivered[i]++
+			})
+		tr := trees[i]
+		if err := net.AddNode(members[i], simnet.HandlerFunc(func(nw *simnet.Network, m simnet.Message) {
+			tr.HandleMessage(nw, m)
+		}), simnet.Coord{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net, trees, delivered
+}
+
+func TestTreeDeliversExactlyOnce(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 31, 64, 100} {
+		net, trees, delivered := treeNet(t, n, 2)
+		env := Envelope{ID: blockcrypto.Sum256([]byte{byte(n)}), Payload: "x"}
+		trees[0].Broadcast(net, env, 500)
+		net.RunUntilIdle()
+		for i := 1; i < n; i++ {
+			if delivered[i] != 1 {
+				t.Fatalf("n=%d: node %d delivered %d times", n, i, delivered[i])
+			}
+		}
+		// Exactly n-1 messages: each non-root receives once, no redundancy.
+		total := net.TotalTraffic()
+		if total.MsgsSent != int64(n-1) {
+			t.Fatalf("n=%d: %d messages sent, want %d", n, total.MsgsSent, n-1)
+		}
+	}
+}
+
+func TestTreeNonZeroRoot(t *testing.T) {
+	net, trees, delivered := treeNet(t, 20, 3)
+	env := Envelope{ID: blockcrypto.Sum256([]byte("rooted")), Payload: nil}
+	trees[13].Broadcast(net, env, 100)
+	net.RunUntilIdle()
+	for i := 0; i < 20; i++ {
+		want := 1
+		if i == 13 {
+			want = 0
+		}
+		if delivered[i] != want {
+			t.Fatalf("node %d delivered %d times, want %d", i, delivered[i], want)
+		}
+	}
+}
+
+func TestTreeLatencyLogarithmic(t *testing.T) {
+	// With unit latency, depth of a binary tree over 64 nodes is 6 hops;
+	// over 8 nodes it is 3. Completion time must reflect depth, not size.
+	run := func(n int) time.Duration {
+		net, trees, _ := treeNet(t, n, 2)
+		env := Envelope{ID: blockcrypto.Sum256([]byte{byte(n), 2}), Payload: nil}
+		trees[0].Broadcast(net, env, 10)
+		net.RunUntilIdle()
+		return net.Now()
+	}
+	t64, t8 := run(64), run(8)
+	if t64 > 3*t8 {
+		t.Fatalf("64-node tree took %v vs 8-node %v: not logarithmic", t64, t8)
+	}
+}
+
+func TestTreeBroadcastFromNonMember(t *testing.T) {
+	net := simnet.New(simnet.ConstantLatency(0))
+	members := []simnet.NodeID{1, 2, 3}
+	tr := NewTree(99, members, 2, "tree/x", nil)
+	// Non-member broadcast is a silent no-op, not a panic.
+	tr.Broadcast(net, Envelope{ID: blockcrypto.Sum256([]byte("nm"))}, 10)
+	if net.Pending() != 0 {
+		t.Fatal("non-member broadcast scheduled messages")
+	}
+}

@@ -1,0 +1,62 @@
+package mempool
+
+import (
+	"testing"
+
+	"icistrategy/internal/chain"
+	"icistrategy/internal/core"
+	"icistrategy/internal/workload"
+)
+
+// TestPoolFeedsICIStrategy runs the full pipeline: a workload floods the
+// pool, the pool feeds block production, and ICIStrategy stores every block
+// collaboratively. The pool's ledger view and the cluster's holdings must
+// stay consistent throughout.
+func TestPoolFeedsICIStrategy(t *testing.T) {
+	sys, err := core.NewSystem(core.Config{Nodes: 18, Clusters: 2, Replication: 1, Seed: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(workload.Config{Accounts: 40, PayloadBytes: 10, Seed: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger := chain.NewLedger()
+	gen.FundAll(ledger, 1_000_000)
+	pool, err := New(ledger, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 5; round++ {
+		// Workload floods the pool.
+		for i := 0; i < 50; i++ {
+			if err := pool.Add(gen.NextTx()); err != nil {
+				t.Fatalf("round %d: admit: %v", round, err)
+			}
+		}
+		// Producer packs a block from the pool.
+		txs := pool.Select(32)
+		if len(txs) == 0 {
+			t.Fatalf("round %d: empty selection from pool of %d", round, pool.Len())
+		}
+		b, err := sys.ProduceBlock(txs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Network().RunUntilIdle()
+		if !sys.AllCommitted(b.Hash()) {
+			t.Fatalf("round %d: block not committed", round)
+		}
+		// The pool's state machine follows the chain.
+		if err := ledger.ApplyBlock(b); err != nil {
+			t.Fatalf("round %d: pool ledger rejected the produced block: %v", round, err)
+		}
+		pool.OnBlockApplied(b)
+		for c := 0; c < sys.NumClusters(); c++ {
+			if err := sys.ClusterHoldsBlock(c, b.Hash()); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package mempool implements the transaction pool that feeds block
+// production: signature and nonce admission against ledger state, per-
+// account nonce chains, fee-ordered executable selection, capacity
+// eviction, and cleanup when blocks apply. It completes the pipeline
+// workload → pool → block → ICIStrategy storage.
+package mempool
+
+import (
+	"errors"
+	"fmt"
+
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/chain"
+)
+
+// Pool errors.
+var (
+	ErrDuplicate     = errors.New("mempool: transaction already pooled")
+	ErrNonceGap      = errors.New("mempool: nonce below account state")
+	ErrNonceReplaced = errors.New("mempool: nonce slot already occupied with equal or better fee")
+	ErrUnderfunded   = errors.New("mempool: sender cannot fund pooled transactions")
+	ErrPoolFull      = errors.New("mempool: pool is full and fee too low to evict")
+	ErrNilLedger     = errors.New("mempool: nil ledger")
+)
+
+// pooledTx is one admitted transaction with its identity cached.
+type pooledTx struct {
+	tx *chain.Transaction
+	id blockcrypto.Hash
+}
+
+// Pool is a transaction mempool validated against a ledger view. Not safe
+// for concurrent use (the simulator is single-threaded; wrap it if needed).
+type Pool struct {
+	ledger *chain.Ledger
+	max    int
+	// byAccount[from] maps nonce -> pooled tx, forming per-account chains.
+	byAccount map[chain.AccountID]map[uint64]pooledTx
+	ids       map[blockcrypto.Hash]bool
+	count     int
+}
+
+// New creates a pool admitting at most maxTxs transactions, validated
+// against ledger.
+func New(ledger *chain.Ledger, maxTxs int) (*Pool, error) {
+	if ledger == nil {
+		return nil, ErrNilLedger
+	}
+	if maxTxs < 1 {
+		return nil, fmt.Errorf("mempool: maxTxs must be positive, got %d", maxTxs)
+	}
+	return &Pool{
+		ledger:    ledger,
+		max:       maxTxs,
+		byAccount: make(map[chain.AccountID]map[uint64]pooledTx),
+		ids:       make(map[blockcrypto.Hash]bool),
+	}, nil
+}
+
+// Len returns the number of pooled transactions.
+func (p *Pool) Len() int { return p.count }
+
+// Contains reports whether the transaction is pooled.
+func (p *Pool) Contains(id blockcrypto.Hash) bool { return p.ids[id] }
+
+// Add admits a transaction: valid signature, nonce at or above the
+// account's ledger state, cumulative solvency across the sender's pooled
+// chain, and fee-based replacement/eviction rules.
+func (p *Pool) Add(tx *chain.Transaction) error {
+	if err := tx.VerifySignature(); err != nil {
+		return err
+	}
+	id := tx.ID()
+	if p.ids[id] {
+		return ErrDuplicate
+	}
+	acct := p.ledger.Account(tx.From)
+	if tx.Nonce < acct.Nonce {
+		return fmt.Errorf("%w: tx nonce %d, account at %d", ErrNonceGap, tx.Nonce, acct.Nonce)
+	}
+	chainTxs := p.byAccount[tx.From]
+	if existing, ok := chainTxs[tx.Nonce]; ok {
+		// Replace-by-fee: a strictly higher fee displaces the occupant.
+		if tx.Fee <= existing.tx.Fee {
+			return ErrNonceReplaced
+		}
+		p.removeTx(existing)
+	}
+	// Cumulative solvency: balance must cover every pooled spend plus this.
+	var committed uint64
+	for _, pt := range p.byAccount[tx.From] {
+		committed += pt.tx.Amount + pt.tx.Fee
+	}
+	if committed+tx.Amount+tx.Fee < committed { // overflow
+		return ErrUnderfunded
+	}
+	if acct.Balance < committed+tx.Amount+tx.Fee {
+		return fmt.Errorf("%w: balance %d, pooled %d, adding %d",
+			ErrUnderfunded, acct.Balance, committed, tx.Amount+tx.Fee)
+	}
+	if p.count >= p.max {
+		if !p.evictBelow(tx.Fee) {
+			return ErrPoolFull
+		}
+	}
+	if p.byAccount[tx.From] == nil {
+		p.byAccount[tx.From] = make(map[uint64]pooledTx)
+	}
+	p.byAccount[tx.From][tx.Nonce] = pooledTx{tx: tx, id: id}
+	p.ids[id] = true
+	p.count++
+	return nil
+}
+
+// removeTx drops one pooled transaction.
+func (p *Pool) removeTx(pt pooledTx) {
+	acct := p.byAccount[pt.tx.From]
+	if acct == nil {
+		return
+	}
+	if cur, ok := acct[pt.tx.Nonce]; !ok || cur.id != pt.id {
+		return
+	}
+	delete(acct, pt.tx.Nonce)
+	if len(acct) == 0 {
+		delete(p.byAccount, pt.tx.From)
+	}
+	delete(p.ids, pt.id)
+	p.count--
+}
+
+// evictBelow removes the lowest-fee pooled transaction if its fee is
+// strictly below fee. Ties keep the incumbent. Among equal fees the
+// highest nonce goes first (it is the least likely to be executable).
+func (p *Pool) evictBelow(fee uint64) bool {
+	var victim pooledTx
+	found := false
+	for _, acct := range p.byAccount {
+		for _, pt := range acct {
+			if !found ||
+				pt.tx.Fee < victim.tx.Fee ||
+				(pt.tx.Fee == victim.tx.Fee && pt.tx.Nonce > victim.tx.Nonce) {
+				victim = pt
+				found = true
+			}
+		}
+	}
+	if !found || victim.tx.Fee >= fee {
+		return false
+	}
+	p.removeTx(victim)
+	return true
+}
+
+// Select returns up to n executable transactions: per-account chains
+// starting exactly at the account's current nonce (no gaps), globally
+// ordered by fee (descending) with account order as a deterministic
+// tiebreak. The returned set always applies cleanly to the pool's ledger
+// view.
+func (p *Pool) Select(n int) []*chain.Transaction {
+	// Seed a cursor per account at its executable head.
+	cursors := make(map[chain.AccountID]uint64, len(p.byAccount))
+	for from := range p.byAccount {
+		cursors[from] = p.ledger.Account(from).Nonce
+	}
+	var out []*chain.Transaction
+	for len(out) < n {
+		// Candidates: each account's next executable transaction.
+		var best *chain.Transaction
+		for from, nonce := range cursors {
+			pt, ok := p.byAccount[from][nonce]
+			if !ok {
+				continue // gap: chain not executable further
+			}
+			if best == nil || pt.tx.Fee > best.Fee ||
+				(pt.tx.Fee == best.Fee && lessAccount(pt.tx.From, best.From)) {
+				best = pt.tx
+			}
+		}
+		if best == nil {
+			break
+		}
+		out = append(out, best)
+		cursors[best.From] = best.Nonce + 1
+	}
+	return out
+}
+
+func lessAccount(a, b chain.AccountID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// OnBlockApplied removes transactions included in the block and any pooled
+// transactions the new state makes invalid (stale nonces). Call it after
+// the ledger the pool watches has applied the block.
+func (p *Pool) OnBlockApplied(b *chain.Block) {
+	for _, tx := range b.Txs {
+		if acct, ok := p.byAccount[tx.From]; ok {
+			if pt, ok := acct[tx.Nonce]; ok {
+				p.removeTx(pt)
+			}
+		}
+	}
+	// Drop stale nonces (a competing transaction consumed the slot).
+	for from, acct := range p.byAccount {
+		state := p.ledger.Account(from).Nonce
+		for nonce, pt := range acct {
+			if nonce < state {
+				p.removeTx(pt)
+			}
+		}
+	}
+}

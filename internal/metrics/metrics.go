@@ -1,0 +1,284 @@
+// Package metrics provides the measurement plumbing for the simulator and
+// experiment harness: byte/message counters, streaming histograms with
+// percentile queries, and fixed-width table rendering so every experiment
+// prints paper-style rows.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counter is a monotonically increasing counter, safe for concurrent use.
+// The zero value is ready to use.
+type Counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Add increments the counter by delta (delta may not be negative).
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.v += delta
+	c.mu.Unlock()
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Histogram collects float64 samples and answers mean/percentile queries.
+// It stores raw samples (simulations here are small enough that exact
+// percentiles beat approximation sketches). The zero value is ready to use.
+// Histogram is not safe for concurrent use.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 {
+	var s float64
+	for _, v := range h.samples {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.Sum() / float64(len(h.samples))
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() float64 {
+	h.ensureSorted()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.samples[0]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() float64 {
+	h.ensureSorted()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.samples[len(h.samples)-1]
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank, or 0 with no samples.
+func (h *Histogram) Percentile(p float64) float64 {
+	h.ensureSorted()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[n-1]
+	}
+	rank := int(p/100*float64(n)+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return h.samples[rank]
+}
+
+// Stddev returns the population standard deviation.
+func (h *Histogram) Stddev() float64 {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := h.Mean()
+	var ss float64
+	for _, v := range h.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return sqrt(ss / float64(n))
+}
+
+func (h *Histogram) ensureSorted() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// sqrt is Newton's method; avoids importing math for one call site and
+// keeps the package dependency-free. Accurate to float64 precision for the
+// magnitudes observed here.
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 64; i++ {
+		nz := (z + x/z) / 2
+		if nz == z {
+			break
+		}
+		z = nz
+	}
+	return z
+}
+
+// HumanBytes renders a byte count as B/KB/MB/GB with two decimals, using
+// 1024-based units (the convention the storage tables use).
+func HumanBytes(n float64) string {
+	const (
+		kb = 1024
+		mb = 1024 * kb
+		gb = 1024 * mb
+		tb = 1024.0 * gb
+	)
+	switch {
+	case n >= tb:
+		return fmt.Sprintf("%.2f TB", n/tb)
+	case n >= gb:
+		return fmt.Sprintf("%.2f GB", n/gb)
+	case n >= mb:
+		return fmt.Sprintf("%.2f MB", n/mb)
+	case n >= kb:
+		return fmt.Sprintf("%.2f KB", n/kb)
+	default:
+		return fmt.Sprintf("%.0f B", n)
+	}
+}
+
+// Table renders aligned text tables and CSV for experiment output.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// trimFloat renders floats with up to 4 significant decimals, no trailing
+// zeros.
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString("== " + t.Title + " ==\n")
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+// Cells containing commas or quotes are quoted per RFC 4180.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(cell, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package netx
+
+import (
+	"fmt"
+
+	"icistrategy/internal/chain"
+	"icistrategy/internal/core"
+	"icistrategy/internal/simnet"
+)
+
+// BootstrapNewMember provisions a brand-new storage server as the next
+// member of this cluster, over TCP: it syncs every header from an existing
+// member (validating the hash chain), computes which chunks the newcomer
+// owns under the grown membership with the same rendezvous placement the
+// simulator's join protocol uses, fetches each from a current owner, and
+// pushes it — verify-on-write — into the new server. It returns how many
+// chunks were transferred.
+//
+// The cluster's own membership view is not mutated: callers that want the
+// newcomer to serve future blocks build a new Cluster over addrs +
+// newAddr.
+func (cl *Cluster) BootstrapNewMember(newAddr string) (int, error) {
+	newClient, err := Dial(newAddr)
+	if err != nil {
+		return 0, err
+	}
+	defer newClient.Close()
+
+	// Header sync from the first reachable member, with linkage checks.
+	var headers []chain.Header
+	synced := false
+	for _, addr := range cl.addrs {
+		c, cerr := cl.client(addr)
+		if cerr != nil {
+			continue
+		}
+		hs, herr := c.GetHeaders(0)
+		if herr != nil {
+			cl.dropClient(addr)
+			continue
+		}
+		headers = hs
+		synced = true
+		break
+	}
+	if !synced {
+		return 0, fmt.Errorf("netx: bootstrap: %w", ErrNoServers)
+	}
+	var prev *chain.Header
+	for i := range headers {
+		h := headers[i]
+		if prev != nil {
+			blk := chain.Block{Header: h}
+			if err := blk.VerifyLink(prev); err != nil {
+				return 0, fmt.Errorf("netx: bootstrap: header %d: %w", i, err)
+			}
+		} else if h.Height != 0 || !h.PrevHash.IsZero() {
+			return 0, fmt.Errorf("netx: bootstrap: chain does not start at genesis")
+		}
+		if err := newClient.PutHeader(h); err != nil {
+			return 0, err
+		}
+		prev = &headers[i]
+	}
+
+	// Ownership under the grown membership: the newcomer takes the next
+	// placement identity.
+	newID := simnet.NodeID(len(cl.ids))
+	grown := append(append([]simnet.NodeID(nil), cl.ids...), newID)
+	parts := len(cl.ids) // chunk count of already-stored blocks
+	transferred := 0
+	for _, h := range headers {
+		block := h.Hash()
+		seed := block.Uint64()
+		for idx := 0; idx < parts; idx++ {
+			owns, oerr := core.IsOwner(seed, grown, idx, cl.replication, newID)
+			if oerr != nil {
+				return transferred, oerr
+			}
+			if !owns {
+				continue
+			}
+			// Current owners under the old membership hold the data.
+			oldOwners, oerr := core.Owners(seed, cl.ids, idx, cl.replication)
+			if oerr != nil {
+				return transferred, oerr
+			}
+			var chunk *ChunkResp
+			for _, o := range oldOwners {
+				c, cerr := cl.client(cl.addrs[int(o)])
+				if cerr != nil {
+					continue
+				}
+				resp, gerr := c.GetChunk(block, idx)
+				if gerr != nil {
+					continue
+				}
+				chunk = resp
+				break
+			}
+			if chunk == nil {
+				return transferred, fmt.Errorf("netx: bootstrap: chunk %d of %s unavailable", idx, block.Short())
+			}
+			// The new server verifies proofs against the header on write.
+			if err := newClient.PutChunk(PutChunkReq{
+				Block:   block,
+				Index:   idx,
+				Parts:   chunk.Parts,
+				TxStart: chunk.TxStart,
+				Data:    chunk.Data,
+				Proofs:  chunk.Proofs,
+			}); err != nil {
+				return transferred, fmt.Errorf("netx: bootstrap: push chunk %d: %w", idx, err)
+			}
+			transferred++
+		}
+	}
+	return transferred, nil
+}

@@ -1,0 +1,340 @@
+package netx
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/chain"
+	"icistrategy/internal/core"
+	"icistrategy/internal/simnet"
+)
+
+// Client errors.
+var (
+	ErrClosed          = errors.New("netx: client closed")
+	ErrIncompleteBlock = errors.New("netx: could not gather every chunk")
+	ErrNoServers       = errors.New("netx: no servers configured")
+)
+
+// dialTimeout bounds connection establishment.
+const dialTimeout = 5 * time.Second
+
+// Client is a connection to one storage server, safe for sequential use;
+// Cluster (below) multiplexes clients for whole-cluster operations.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("netx: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// roundTrip sends one request and reads one response.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, ErrClosed
+	}
+	if err := writeMessage(c.conn, req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := readMessage(c.conn, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// PutHeader stores a header on the server.
+func (c *Client) PutHeader(h chain.Header) error {
+	resp, err := c.roundTrip(&Request{PutHeader: &PutHeaderReq{Header: h}})
+	if err != nil {
+		return err
+	}
+	return respError(resp)
+}
+
+// PutChunk stores a verified chunk on the server.
+func (c *Client) PutChunk(req PutChunkReq) error {
+	resp, err := c.roundTrip(&Request{PutChunk: &req})
+	if err != nil {
+		return err
+	}
+	return respError(resp)
+}
+
+// GetHeaders fetches all headers at or above fromHeight.
+func (c *Client) GetHeaders(fromHeight uint64) ([]chain.Header, error) {
+	resp, err := c.roundTrip(&Request{GetHeaders: &GetHeadersReq{FromHeight: fromHeight}})
+	if err != nil {
+		return nil, err
+	}
+	if err := respError(resp); err != nil {
+		return nil, err
+	}
+	return resp.Headers, nil
+}
+
+// GetChunk fetches one chunk.
+func (c *Client) GetChunk(block blockcrypto.Hash, index int) (*ChunkResp, error) {
+	resp, err := c.roundTrip(&Request{GetChunk: &GetChunkReq{Block: block, Index: index}})
+	if err != nil {
+		return nil, err
+	}
+	if err := respError(resp); err != nil {
+		return nil, err
+	}
+	if resp.Chunk == nil {
+		return nil, ErrNotFound
+	}
+	return resp.Chunk, nil
+}
+
+// GetBlockChunks fetches every chunk the server holds for a block.
+func (c *Client) GetBlockChunks(block blockcrypto.Hash) (*BlockChunksResp, error) {
+	resp, err := c.roundTrip(&Request{GetBlockChunks: &GetBlockChunksReq{Block: block}})
+	if err != nil {
+		return nil, err
+	}
+	if err := respError(resp); err != nil {
+		return nil, err
+	}
+	if resp.BlockChunks == nil {
+		return nil, ErrNotFound
+	}
+	return resp.BlockChunks, nil
+}
+
+// Stats fetches the server's storage accounting.
+func (c *Client) Stats() (*StatsResp, error) {
+	resp, err := c.roundTrip(&Request{Stats: &StatsReq{}})
+	if err != nil {
+		return nil, err
+	}
+	if err := respError(resp); err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, ErrBadRequest
+	}
+	return resp.Stats, nil
+}
+
+// Cluster drives a whole ICIStrategy cluster of TCP storage servers: it
+// applies the same rendezvous placement as the simulator's protocol layer
+// to distribute blocks, and reassembles them with Merkle-root verification
+// on reads.
+type Cluster struct {
+	addrs       []string
+	ids         []simnet.NodeID // placement identities, parallel to addrs
+	replication int
+
+	mu      sync.Mutex
+	clients map[string]*Client
+}
+
+// NewCluster wires a cluster client over the given server addresses.
+func NewCluster(addrs []string, replication int) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, ErrNoServers
+	}
+	if replication < 1 || replication > len(addrs) {
+		return nil, fmt.Errorf("netx: replication %d with %d servers", replication, len(addrs))
+	}
+	ids := make([]simnet.NodeID, len(addrs))
+	for i := range ids {
+		ids[i] = simnet.NodeID(i)
+	}
+	return &Cluster{
+		addrs:       addrs,
+		ids:         ids,
+		replication: replication,
+		clients:     make(map[string]*Client),
+	}, nil
+}
+
+// Close closes all cached connections.
+func (cl *Cluster) Close() {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for _, c := range cl.clients {
+		_ = c.Close()
+	}
+	cl.clients = make(map[string]*Client)
+}
+
+// client returns a cached or fresh connection to addr.
+func (cl *Cluster) client(addr string) (*Client, error) {
+	cl.mu.Lock()
+	if c, ok := cl.clients[addr]; ok {
+		cl.mu.Unlock()
+		return c, nil
+	}
+	cl.mu.Unlock()
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if existing, ok := cl.clients[addr]; ok {
+		_ = c.Close()
+		return existing, nil
+	}
+	cl.clients[addr] = c
+	return c, nil
+}
+
+// dropClient evicts a cached connection after a transport failure.
+func (cl *Cluster) dropClient(addr string) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if c, ok := cl.clients[addr]; ok {
+		_ = c.Close()
+		delete(cl.clients, addr)
+	}
+}
+
+// DistributeBlock stores a block across the cluster: the header goes to
+// every server, and each transaction-group chunk (with Merkle proofs) to
+// its rendezvous owners.
+func (cl *Cluster) DistributeBlock(b *chain.Block) error {
+	tree, err := chain.TxMerkleTree(b.Txs)
+	if err != nil {
+		return err
+	}
+	hdr := b.Header
+	for _, addr := range cl.addrs {
+		c, err := cl.client(addr)
+		if err != nil {
+			return err
+		}
+		if err := c.PutHeader(hdr); err != nil {
+			cl.dropClient(addr)
+			return fmt.Errorf("put header to %s: %w", addr, err)
+		}
+	}
+	parts := len(cl.addrs)
+	counts, err := core.SplitCounts(len(b.Txs), parts)
+	if err != nil {
+		return err
+	}
+	seed := b.Hash().Uint64()
+	txStart := 0
+	for idx := 0; idx < parts; idx++ {
+		group := b.Txs[txStart : txStart+counts[idx]]
+		proofs := make([]chain.Proof, len(group))
+		for i := range group {
+			p, perr := tree.Prove(txStart + i)
+			if perr != nil {
+				return perr
+			}
+			proofs[i] = p
+		}
+		sub := chain.Block{Txs: group}
+		req := PutChunkReq{
+			Block:   b.Hash(),
+			Index:   idx,
+			Parts:   parts,
+			TxStart: txStart,
+			Data:    sub.EncodeBody(),
+			Proofs:  proofs,
+		}
+		owners, oerr := core.Owners(seed, cl.ids, idx, cl.replication)
+		if oerr != nil {
+			return oerr
+		}
+		for _, o := range owners {
+			addr := cl.addrs[int(o)]
+			c, cerr := cl.client(addr)
+			if cerr != nil {
+				return cerr
+			}
+			if err := c.PutChunk(req); err != nil {
+				cl.dropClient(addr)
+				return fmt.Errorf("put chunk %d to %s: %w", idx, addr, err)
+			}
+		}
+		txStart += counts[idx]
+	}
+	return nil
+}
+
+// RetrieveBlock gathers the block's chunks from the cluster (skipping
+// unreachable servers), reassembles, and verifies the Merkle root against
+// the expected header.
+func (cl *Cluster) RetrieveBlock(hdr chain.Header) (*chain.Block, error) {
+	block := hdr.Hash()
+	found := make(map[int][]*chain.Transaction)
+	starts := make(map[int]int)
+	parts := 0
+	for _, addr := range cl.addrs {
+		c, err := cl.client(addr)
+		if err != nil {
+			continue // dead server: degraded read
+		}
+		resp, err := c.GetBlockChunks(block)
+		if err != nil {
+			cl.dropClient(addr)
+			continue
+		}
+		if resp.Parts > 0 {
+			parts = resp.Parts
+		}
+		for _, chk := range resp.Chunks {
+			if _, ok := found[chk.Index]; ok {
+				continue
+			}
+			txs, derr := chain.DecodeBody(chk.Data)
+			if derr != nil {
+				continue
+			}
+			found[chk.Index] = txs
+			starts[chk.Index] = chk.TxStart
+		}
+		if parts > 0 && len(found) == parts {
+			break
+		}
+	}
+	if parts == 0 || len(found) < parts {
+		return nil, fmt.Errorf("%w: have %d of %d", ErrIncompleteBlock, len(found), parts)
+	}
+	idxs := make([]int, 0, len(found))
+	for i := range found {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	var txs []*chain.Transaction
+	for _, i := range idxs {
+		txs = append(txs, found[i]...)
+	}
+	b := &chain.Block{Header: hdr, Txs: txs}
+	if err := b.VerifyShape(); err != nil {
+		return nil, fmt.Errorf("netx: reassembly: %w", err)
+	}
+	return b, nil
+}

@@ -1,0 +1,239 @@
+package netx
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"icistrategy/internal/chain"
+	"icistrategy/internal/storage"
+)
+
+// Server is one ICIStrategy storage node exposed over TCP. It owns a
+// storage.Store plus the proof sidecar and serves the request/response
+// protocol until closed. All methods are safe for concurrent use.
+type Server struct {
+	listener net.Listener
+
+	mu     sync.Mutex
+	store  *storage.Store
+	meta   map[storage.ChunkID]chunkSidecar
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type chunkSidecar struct {
+	parts   int
+	txStart int
+	proofs  []chain.Proof
+}
+
+// NewServer starts a storage server listening on addr (use "127.0.0.1:0"
+// for an ephemeral port).
+func NewServer(addr string) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netx: listen: %w", err)
+	}
+	s := &Server{
+		listener: l,
+		store:    storage.NewStore(),
+		meta:     make(map[storage.ChunkID]chunkSidecar),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the listener, force-closes active connections, and waits for
+// all connection goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Stats returns the server's storage accounting snapshot.
+func (s *Server) Stats() storage.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.Stats()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				_ = conn.Close()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles request/response pairs until the client disconnects.
+func (s *Server) serveConn(conn net.Conn) {
+	for {
+		var req Request
+		if err := readMessage(conn, &req); err != nil {
+			return // EOF or broken frame: drop the connection
+		}
+		resp := s.handle(&req)
+		if err := writeMessage(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *Request) *Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case req.PutHeader != nil:
+		s.store.PutHeader(req.PutHeader.Header)
+		return okResp()
+	case req.PutChunk != nil:
+		return s.handlePutChunk(req.PutChunk)
+	case req.GetHeaders != nil:
+		var out []chain.Header
+		for _, h := range s.store.Headers() {
+			if h.Height >= req.GetHeaders.FromHeight {
+				out = append(out, h)
+			}
+		}
+		return &Response{Headers: out}
+	case req.GetChunk != nil:
+		return s.handleGetChunk(req.GetChunk)
+	case req.GetBlockChunks != nil:
+		return s.handleGetBlockChunks(req.GetBlockChunks)
+	case req.Stats != nil:
+		st := s.store.Stats()
+		return &Response{Stats: &StatsResp{
+			HeaderCount: st.HeaderCount,
+			HeaderBytes: st.HeaderBytes,
+			ChunkCount:  st.ChunkCount,
+			ChunkBytes:  st.ChunkBytes,
+		}}
+	default:
+		return errResp(ErrBadRequest)
+	}
+}
+
+func (s *Server) handlePutChunk(r *PutChunkReq) *Response {
+	if len(r.Data) == 0 || r.Parts <= 0 || r.Index < 0 || r.Index >= r.Parts {
+		return errResp(ErrBadRequest)
+	}
+	// The server verifies what it stores: the chunk must decode and every
+	// transaction must prove into the already-stored header's root.
+	hdr, err := s.store.Header(r.Block)
+	if err != nil {
+		return errResp(fmt.Errorf("store chunk: header unknown: %w", ErrNotFound))
+	}
+	txs, err := chain.DecodeBody(r.Data)
+	if err != nil {
+		return errResp(fmt.Errorf("%w: %v", ErrBadRequest, err))
+	}
+	if len(txs) != len(r.Proofs) {
+		return errResp(fmt.Errorf("%w: %d txs, %d proofs", ErrBadRequest, len(txs), len(r.Proofs)))
+	}
+	for i, tx := range txs {
+		if r.Proofs[i].LeafIndex != r.TxStart+i {
+			return errResp(fmt.Errorf("%w: proof index mismatch", ErrBadRequest))
+		}
+		if err := chain.VerifyProof(hdr.MerkleRoot, tx.ID(), r.Proofs[i]); err != nil {
+			return errResp(err)
+		}
+		if err := tx.VerifySignature(); err != nil {
+			return errResp(err)
+		}
+	}
+	id := storage.ChunkID{Block: r.Block, Index: r.Index}
+	if err := s.store.PutChunk(storage.NewChunk(id, r.Data)); err != nil {
+		return errResp(err)
+	}
+	s.meta[id] = chunkSidecar{parts: r.Parts, txStart: r.TxStart, proofs: r.Proofs}
+	return okResp()
+}
+
+func (s *Server) handleGetChunk(r *GetChunkReq) *Response {
+	id := storage.ChunkID{Block: r.Block, Index: r.Index}
+	chk, err := s.store.Chunk(id)
+	if err != nil {
+		return errResp(ErrNotFound)
+	}
+	m := s.meta[id]
+	return &Response{Chunk: &ChunkResp{
+		Index:   r.Index,
+		Parts:   m.parts,
+		TxStart: m.txStart,
+		Data:    chk.Data,
+		Proofs:  m.proofs,
+	}}
+}
+
+func (s *Server) handleGetBlockChunks(r *GetBlockChunksReq) *Response {
+	out := &BlockChunksResp{}
+	for _, idx := range s.store.ChunksForBlock(r.Block) {
+		id := storage.ChunkID{Block: r.Block, Index: idx}
+		chk, err := s.store.Chunk(id)
+		if err != nil {
+			continue // corrupted: withhold
+		}
+		m := s.meta[id]
+		out.Parts = m.parts
+		out.Chunks = append(out.Chunks, ChunkResp{
+			Index:   idx,
+			Parts:   m.parts,
+			TxStart: m.txStart,
+			Data:    chk.Data,
+			Proofs:  m.proofs,
+		})
+	}
+	return &Response{BlockChunks: out}
+}
+
+func okResp() *Response { return &Response{OK: &struct{}{}} }
+
+func errResp(err error) *Response { return &Response{Err: err.Error()} }
+
+// respError converts a Response's Err field back to a Go error.
+func respError(r *Response) error {
+	if r.Err == "" {
+		return nil
+	}
+	return errors.New(r.Err)
+}

@@ -1,0 +1,110 @@
+package simnet
+
+import (
+	"math"
+	"time"
+
+	"icistrategy/internal/blockcrypto"
+)
+
+// Coord is a point in 2-D latency space. Distances are interpreted directly
+// as one-way propagation delay in milliseconds, the standard network
+// coordinate abstraction (Vivaldi-style).
+type Coord struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance to other, in milliseconds.
+func (c Coord) Distance(other Coord) float64 {
+	dx := c.X - other.X
+	dy := c.Y - other.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// LatencyModel computes the one-way delivery delay of a message of the
+// given size between two coordinates.
+type LatencyModel interface {
+	Latency(from, to Coord, size int) time.Duration
+}
+
+// LinkModel is the default latency model:
+//
+//	delay = Base + distance(from,to) + size/Bandwidth + jitter
+//
+// where jitter is uniform in [0, Jitter). Bandwidth is in bytes per second.
+// A zero-valued LinkModel delivers everything instantly, which is handy in
+// unit tests.
+type LinkModel struct {
+	Base      time.Duration
+	Bandwidth float64 // bytes per second; 0 disables the transfer term
+	Jitter    time.Duration
+	rng       *blockcrypto.RNG
+}
+
+var _ LatencyModel = (*LinkModel)(nil)
+
+// NewLinkModel builds the default model used by the experiments: 5 ms base,
+// 20 Mbit/s links, 2 ms jitter, seeded rng.
+func NewLinkModel(seed uint64) *LinkModel {
+	return &LinkModel{
+		Base:      5 * time.Millisecond,
+		Bandwidth: 20e6 / 8, // 20 Mbit/s in bytes/s
+		Jitter:    2 * time.Millisecond,
+		rng:       blockcrypto.NewRNG(seed),
+	}
+}
+
+// Latency implements LatencyModel.
+func (m *LinkModel) Latency(from, to Coord, size int) time.Duration {
+	d := m.Base
+	d += time.Duration(from.Distance(to) * float64(time.Millisecond))
+	if m.Bandwidth > 0 {
+		d += time.Duration(float64(size) / m.Bandwidth * float64(time.Second))
+	}
+	if m.Jitter > 0 && m.rng != nil {
+		d += time.Duration(m.rng.Float64() * float64(m.Jitter))
+	}
+	return d
+}
+
+// ConstantLatency delivers every message after a fixed delay regardless of
+// distance or size.
+type ConstantLatency time.Duration
+
+var _ LatencyModel = ConstantLatency(0)
+
+// Latency implements LatencyModel.
+func (c ConstantLatency) Latency(_, _ Coord, _ int) time.Duration {
+	return time.Duration(c)
+}
+
+// RandomCoords places n nodes uniformly in a square of side sideMillis
+// milliseconds, deterministically from rng. The experiments use a 60 ms
+// square, giving inter-node RTTs in the 0-170 ms range — roughly a global
+// deployment.
+func RandomCoords(n int, sideMillis float64, rng *blockcrypto.RNG) []Coord {
+	out := make([]Coord, n)
+	for i := range out {
+		out[i] = Coord{X: rng.Float64() * sideMillis, Y: rng.Float64() * sideMillis}
+	}
+	return out
+}
+
+// ClusteredCoords places n nodes around k regional centers with the given
+// spread, modelling geographically clustered deployments (nodes in data
+// centers). Centers are themselves placed uniformly in the square.
+func ClusteredCoords(n, k int, sideMillis, spread float64, rng *blockcrypto.RNG) []Coord {
+	if k <= 0 {
+		k = 1
+	}
+	centers := RandomCoords(k, sideMillis, rng)
+	out := make([]Coord, n)
+	for i := range out {
+		c := centers[i%k]
+		out[i] = Coord{
+			X: c.X + rng.NormFloat64()*spread,
+			Y: c.Y + rng.NormFloat64()*spread,
+		}
+	}
+	return out
+}

@@ -1,0 +1,377 @@
+// Package simnet is a deterministic discrete-event network simulator.
+//
+// Nodes are registered with message handlers and 2-D coordinates in latency
+// space; Send schedules a delivery event after a latency computed from the
+// link model, and Run drains the event queue in virtual-time order. All
+// randomness flows from a seeded RNG, so identical seeds produce identical
+// traces. The simulator also keeps complete traffic accounting (bytes and
+// message counts per node and per message kind), which is what the
+// communication-overhead experiments measure.
+package simnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// NodeID identifies a simulated node.
+type NodeID uint64
+
+// Simulation errors.
+var (
+	ErrUnknownNode   = errors.New("simnet: unknown node")
+	ErrDuplicateNode = errors.New("simnet: node already registered")
+	ErrNodeDown      = errors.New("simnet: node is down")
+)
+
+// Message is one network message. Size is the wire size in bytes used for
+// bandwidth/latency accounting; Payload carries the in-memory content
+// (never serialized — this is a simulator, not a codec).
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Kind    string
+	Size    int
+	Payload any
+}
+
+// Handler consumes messages delivered to a node.
+type Handler interface {
+	HandleMessage(net *Network, msg Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(net *Network, msg Message)
+
+// HandleMessage calls f.
+func (f HandlerFunc) HandleMessage(net *Network, msg Message) { f(net, msg) }
+
+var _ Handler = HandlerFunc(nil)
+
+// TrafficStats is the per-node traffic accounting snapshot.
+type TrafficStats struct {
+	BytesSent int64
+	BytesRecv int64
+	MsgsSent  int64
+	MsgsRecv  int64
+}
+
+// KindStats aggregates traffic by message kind across the whole network.
+type KindStats struct {
+	Messages int64
+	Bytes    int64
+}
+
+type nodeState struct {
+	id        NodeID
+	handler   Handler
+	coord     Coord
+	down      bool
+	traffic   TrafficStats
+	busyUntil time.Duration // uplink serialization horizon
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64 // FIFO tie-break for equal timestamps
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Network is the simulator. Create one with New; the zero value is not
+// usable. Network is not safe for concurrent use: the simulation is
+// single-threaded by design so that runs are reproducible.
+type Network struct {
+	now       time.Duration
+	seq       uint64
+	events    eventHeap
+	nodes     map[NodeID]*nodeState
+	latency   LatencyModel
+	kindStats map[string]*KindStats
+	delivered int64
+	dropped   int64
+	// uplinkBps, when positive, serializes each sender's outgoing
+	// messages at this many bytes per second: a node with one access link
+	// cannot transmit two large messages at once. The per-link latency
+	// model is applied on top.
+	uplinkBps float64
+	// partition, when non-nil, maps nodes to partition groups; messages
+	// between different groups are dropped at delivery time.
+	partition map[NodeID]int
+}
+
+// Partition splits the network: each slice of ids becomes one group, and
+// messages crossing group boundaries are silently dropped (counted as
+// dropped). Nodes in no group can talk to everyone. Call Heal to remove
+// the partition.
+func (n *Network) Partition(groups ...[]NodeID) {
+	n.partition = make(map[NodeID]int)
+	for g, ids := range groups {
+		for _, id := range ids {
+			n.partition[id] = g + 1
+		}
+	}
+}
+
+// Heal removes any partition.
+func (n *Network) Heal() { n.partition = nil }
+
+// reachable reports whether a message from a to b crosses a partition.
+func (n *Network) reachable(a, b NodeID) bool {
+	if n.partition == nil {
+		return true
+	}
+	ga, gb := n.partition[a], n.partition[b]
+	if ga == 0 || gb == 0 {
+		return true
+	}
+	return ga == gb
+}
+
+// SetUplinkBandwidth enables sender-side uplink serialization at the given
+// bytes per second (0 disables it). Enable it for experiments where a
+// single node fanning out large payloads is the bottleneck — e.g. a block
+// producer unicasting a block to many cluster leaders.
+func (n *Network) SetUplinkBandwidth(bytesPerSec float64) {
+	n.uplinkBps = bytesPerSec
+}
+
+// New creates an empty network using the given latency model.
+func New(model LatencyModel) *Network {
+	return &Network{
+		nodes:     make(map[NodeID]*nodeState),
+		latency:   model,
+		kindStats: make(map[string]*KindStats),
+	}
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.now }
+
+// AddNode registers a node with its handler and latency-space coordinate.
+func (n *Network) AddNode(id NodeID, handler Handler, coord Coord) error {
+	if _, ok := n.nodes[id]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateNode, id)
+	}
+	n.nodes[id] = &nodeState{id: id, handler: handler, coord: coord}
+	return nil
+}
+
+// SetHandler replaces a node's handler (used when a node restarts with new
+// state).
+func (n *Network) SetHandler(id NodeID, handler Handler) error {
+	st, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	st.handler = handler
+	return nil
+}
+
+// Coordinate returns the node's latency-space coordinate.
+func (n *Network) Coordinate(id NodeID) (Coord, error) {
+	st, ok := n.nodes[id]
+	if !ok {
+		return Coord{}, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	return st.coord, nil
+}
+
+// NumNodes returns the number of registered nodes (up or down).
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// SetDown marks a node as failed (true) or recovered (false). Messages to a
+// down node are dropped; a down node cannot send.
+func (n *Network) SetDown(id NodeID, down bool) error {
+	st, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	st.down = down
+	return nil
+}
+
+// IsDown reports whether the node is currently failed.
+func (n *Network) IsDown(id NodeID) bool {
+	st, ok := n.nodes[id]
+	return ok && st.down
+}
+
+// Send schedules delivery of msg after the link latency. Sending accounts
+// the bytes immediately (the sender pays the uplink even if the receiver is
+// down when the message lands).
+func (n *Network) Send(msg Message) error {
+	src, ok := n.nodes[msg.From]
+	if !ok {
+		return fmt.Errorf("send from %w: %d", ErrUnknownNode, msg.From)
+	}
+	if src.down {
+		return fmt.Errorf("send: %w: %d", ErrNodeDown, msg.From)
+	}
+	dst, ok := n.nodes[msg.To]
+	if !ok {
+		return fmt.Errorf("send to %w: %d", ErrUnknownNode, msg.To)
+	}
+	src.traffic.BytesSent += int64(msg.Size)
+	src.traffic.MsgsSent++
+	ks := n.kindStats[msg.Kind]
+	if ks == nil {
+		ks = &KindStats{}
+		n.kindStats[msg.Kind] = ks
+	}
+	ks.Messages++
+	ks.Bytes += int64(msg.Size)
+
+	delay := n.latency.Latency(src.coord, dst.coord, msg.Size)
+	if delay < 0 {
+		delay = 0
+	}
+	depart := n.now
+	if n.uplinkBps > 0 {
+		if src.busyUntil > depart {
+			depart = src.busyUntil
+		}
+		txTime := time.Duration(float64(msg.Size) / n.uplinkBps * float64(time.Second))
+		depart += txTime
+		src.busyUntil = depart
+	}
+	n.schedule(depart+delay, func() {
+		st := n.nodes[msg.To]
+		if st == nil || st.down || st.handler == nil || !n.reachable(msg.From, msg.To) {
+			n.dropped++
+			return
+		}
+		st.traffic.BytesRecv += int64(msg.Size)
+		st.traffic.MsgsRecv++
+		n.delivered++
+		st.handler.HandleMessage(n, msg)
+	})
+	return nil
+}
+
+// After schedules fn to run after d of virtual time.
+func (n *Network) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	n.schedule(n.now+d, fn)
+}
+
+func (n *Network) schedule(at time.Duration, fn func()) {
+	n.seq++
+	heap.Push(&n.events, &event{at: at, seq: n.seq, fn: fn})
+}
+
+// Step executes the next pending event, returning false when the queue is
+// empty.
+func (n *Network) Step() bool {
+	if n.events.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&n.events).(*event)
+	if e.at > n.now {
+		n.now = e.at
+	}
+	e.fn()
+	return true
+}
+
+// Run drains events until the queue is empty or virtual time would exceed
+// until (0 means no limit). It returns the number of events executed.
+func (n *Network) Run(until time.Duration) int {
+	executed := 0
+	for n.events.Len() > 0 {
+		next := n.events[0]
+		if until > 0 && next.at > until {
+			break
+		}
+		n.Step()
+		executed++
+	}
+	return executed
+}
+
+// RunUntilIdle drains the entire event queue.
+func (n *Network) RunUntilIdle() int { return n.Run(0) }
+
+// Pending returns the number of queued events.
+func (n *Network) Pending() int { return n.events.Len() }
+
+// Traffic returns the traffic snapshot for one node.
+func (n *Network) Traffic(id NodeID) (TrafficStats, error) {
+	st, ok := n.nodes[id]
+	if !ok {
+		return TrafficStats{}, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	return st.traffic, nil
+}
+
+// TotalTraffic sums traffic across all nodes.
+func (n *Network) TotalTraffic() TrafficStats {
+	var t TrafficStats
+	for _, st := range n.nodes {
+		t.BytesSent += st.traffic.BytesSent
+		t.BytesRecv += st.traffic.BytesRecv
+		t.MsgsSent += st.traffic.MsgsSent
+		t.MsgsRecv += st.traffic.MsgsRecv
+	}
+	return t
+}
+
+// KindTraffic returns a copy of the per-kind aggregate for kind.
+func (n *Network) KindTraffic(kind string) KindStats {
+	if ks := n.kindStats[kind]; ks != nil {
+		return *ks
+	}
+	return KindStats{}
+}
+
+// Kinds returns all message kinds observed so far.
+func (n *Network) Kinds() []string {
+	out := make([]string, 0, len(n.kindStats))
+	for k := range n.kindStats {
+		out = append(out, k)
+	}
+	return out
+}
+
+// DeliveredCount and DroppedCount expose delivery accounting for tests and
+// experiment sanity checks.
+func (n *Network) DeliveredCount() int64 { return n.delivered }
+
+// DroppedCount returns the number of messages dropped because the receiver
+// was down at delivery time.
+func (n *Network) DroppedCount() int64 { return n.dropped }
+
+// ResetTraffic zeroes all traffic accounting (per-node and per-kind) while
+// leaving topology and time untouched. Experiments use it to measure a
+// single phase.
+func (n *Network) ResetTraffic() {
+	for _, st := range n.nodes {
+		st.traffic = TrafficStats{}
+	}
+	n.kindStats = make(map[string]*KindStats)
+	n.delivered = 0
+	n.dropped = 0
+}

@@ -1,0 +1,441 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"icistrategy/internal/blockcrypto"
+)
+
+// collectNet builds a network of n nodes that record every delivery.
+func collectNet(t *testing.T, n int, model LatencyModel) (*Network, *[]Message) {
+	t.Helper()
+	net := New(model)
+	var got []Message
+	for i := 0; i < n; i++ {
+		if err := net.AddNode(NodeID(i), HandlerFunc(func(_ *Network, m Message) {
+			got = append(got, m)
+		}), Coord{X: float64(i), Y: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net, &got
+}
+
+func TestAddNodeDuplicate(t *testing.T) {
+	net := New(ConstantLatency(0))
+	if err := net.AddNode(1, nil, Coord{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddNode(1, nil, Coord{}); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}
+
+func TestSendDelivers(t *testing.T) {
+	net, got := collectNet(t, 2, ConstantLatency(time.Millisecond))
+	if err := net.Send(Message{From: 0, To: 1, Kind: "ping", Size: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 0 {
+		t.Fatal("message delivered before Run")
+	}
+	net.RunUntilIdle()
+	if len(*got) != 1 || (*got)[0].Kind != "ping" {
+		t.Fatalf("deliveries = %v", *got)
+	}
+	if net.Now() != time.Millisecond {
+		t.Fatalf("Now() = %v, want 1ms", net.Now())
+	}
+}
+
+func TestSendUnknownNodes(t *testing.T) {
+	net, _ := collectNet(t, 1, ConstantLatency(0))
+	if err := net.Send(Message{From: 9, To: 0}); err == nil {
+		t.Fatal("unknown sender accepted")
+	}
+	if err := net.Send(Message{From: 0, To: 9}); err == nil {
+		t.Fatal("unknown receiver accepted")
+	}
+}
+
+func TestVirtualTimeOrdering(t *testing.T) {
+	net := New(ConstantLatency(0))
+	var order []int
+	net.After(30*time.Millisecond, func() { order = append(order, 3) })
+	net.After(10*time.Millisecond, func() { order = append(order, 1) })
+	net.After(20*time.Millisecond, func() { order = append(order, 2) })
+	net.RunUntilIdle()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("execution order = %v", order)
+	}
+}
+
+func TestEqualTimestampsFIFO(t *testing.T) {
+	net := New(ConstantLatency(0))
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		net.After(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	net.RunUntilIdle()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestNestedSchedulingAdvancesTime(t *testing.T) {
+	net, got := collectNet(t, 3, ConstantLatency(2*time.Millisecond))
+	// Node 1 forwards to node 2 on receipt.
+	if err := net.SetHandler(1, HandlerFunc(func(n *Network, m Message) {
+		if err := n.Send(Message{From: 1, To: 2, Kind: "fwd", Size: m.Size}); err != nil {
+			t.Errorf("forward: %v", err)
+		}
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(Message{From: 0, To: 1, Kind: "orig", Size: 10}); err != nil {
+		t.Fatal(err)
+	}
+	net.RunUntilIdle()
+	if len(*got) != 1 || (*got)[0].Kind != "fwd" {
+		t.Fatalf("deliveries = %v", *got)
+	}
+	if net.Now() != 4*time.Millisecond {
+		t.Fatalf("Now() = %v, want 4ms (two hops)", net.Now())
+	}
+}
+
+func TestRunUntilLimit(t *testing.T) {
+	net := New(ConstantLatency(0))
+	fired := 0
+	net.After(time.Millisecond, func() { fired++ })
+	net.After(time.Hour, func() { fired++ })
+	net.Run(time.Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if net.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", net.Pending())
+	}
+}
+
+func TestDownNodeDropsAndCannotSend(t *testing.T) {
+	net, got := collectNet(t, 2, ConstantLatency(time.Millisecond))
+	if err := net.SetDown(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(Message{From: 0, To: 1, Kind: "x", Size: 5}); err != nil {
+		t.Fatal(err) // send succeeds; delivery is dropped
+	}
+	net.RunUntilIdle()
+	if len(*got) != 0 {
+		t.Fatal("message delivered to a down node")
+	}
+	if net.DroppedCount() != 1 {
+		t.Fatalf("DroppedCount() = %d, want 1", net.DroppedCount())
+	}
+	if err := net.Send(Message{From: 1, To: 0}); err == nil {
+		t.Fatal("down node was allowed to send")
+	}
+	// Recovery restores delivery.
+	if err := net.SetDown(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(Message{From: 0, To: 1, Kind: "x", Size: 5}); err != nil {
+		t.Fatal(err)
+	}
+	net.RunUntilIdle()
+	if len(*got) != 1 {
+		t.Fatal("message not delivered after recovery")
+	}
+}
+
+func TestFailureMidFlight(t *testing.T) {
+	// A node that fails while a message is in flight must not receive it.
+	net, got := collectNet(t, 2, ConstantLatency(10*time.Millisecond))
+	if err := net.Send(Message{From: 0, To: 1, Kind: "x", Size: 5}); err != nil {
+		t.Fatal(err)
+	}
+	net.After(time.Millisecond, func() {
+		if err := net.SetDown(1, true); err != nil {
+			t.Error(err)
+		}
+	})
+	net.RunUntilIdle()
+	if len(*got) != 0 {
+		t.Fatal("in-flight message delivered to failed node")
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	net, _ := collectNet(t, 3, ConstantLatency(0))
+	sends := []struct {
+		from, to NodeID
+		size     int
+	}{{0, 1, 100}, {0, 2, 50}, {1, 2, 25}}
+	for _, s := range sends {
+		if err := net.Send(Message{From: s.from, To: s.to, Kind: "data", Size: s.size}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.RunUntilIdle()
+	t0, _ := net.Traffic(0)
+	if t0.BytesSent != 150 || t0.MsgsSent != 2 || t0.BytesRecv != 0 {
+		t.Fatalf("node 0 traffic = %+v", t0)
+	}
+	t2, _ := net.Traffic(2)
+	if t2.BytesRecv != 75 || t2.MsgsRecv != 2 {
+		t.Fatalf("node 2 traffic = %+v", t2)
+	}
+	total := net.TotalTraffic()
+	if total.BytesSent != 175 || total.BytesRecv != 175 {
+		t.Fatalf("total traffic = %+v", total)
+	}
+	kd := net.KindTraffic("data")
+	if kd.Messages != 3 || kd.Bytes != 175 {
+		t.Fatalf("kind traffic = %+v", kd)
+	}
+	if len(net.Kinds()) != 1 {
+		t.Fatalf("Kinds() = %v", net.Kinds())
+	}
+	net.ResetTraffic()
+	if net.TotalTraffic() != (TrafficStats{}) {
+		t.Fatal("ResetTraffic left residue")
+	}
+	if net.KindTraffic("data") != (KindStats{}) {
+		t.Fatal("ResetTraffic left kind residue")
+	}
+}
+
+func TestDeterministicTraces(t *testing.T) {
+	run := func() (time.Duration, int64) {
+		model := NewLinkModel(77)
+		net := New(model)
+		rng := blockcrypto.NewRNG(42)
+		coords := RandomCoords(20, 60, rng)
+		for i, c := range coords {
+			id := NodeID(i)
+			if err := net.AddNode(id, HandlerFunc(func(n *Network, m Message) {
+				if m.Size > 1 {
+					next := NodeID((uint64(m.To) + 1) % 20)
+					_ = n.Send(Message{From: m.To, To: next, Kind: "relay", Size: m.Size / 2})
+				}
+			}), c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := net.Send(Message{From: 0, To: 1, Kind: "relay", Size: 1 << 16}); err != nil {
+			t.Fatal(err)
+		}
+		net.RunUntilIdle()
+		return net.Now(), net.TotalTraffic().BytesSent
+	}
+	t1, b1 := run()
+	t2, b2 := run()
+	if t1 != t2 || b1 != b2 {
+		t.Fatalf("identical seeds diverged: (%v,%d) vs (%v,%d)", t1, b1, t2, b2)
+	}
+}
+
+func TestLinkModelComponents(t *testing.T) {
+	m := &LinkModel{Base: 10 * time.Millisecond, Bandwidth: 1000} // 1000 B/s
+	a, b := Coord{0, 0}, Coord{3, 4}                              // distance 5 ms
+	got := m.Latency(a, b, 500)                                   // 500 B at 1000 B/s = 500 ms
+	want := 10*time.Millisecond + 5*time.Millisecond + 500*time.Millisecond
+	if got != want {
+		t.Fatalf("Latency = %v, want %v", got, want)
+	}
+}
+
+func TestLinkModelZeroValue(t *testing.T) {
+	var m LinkModel
+	if got := m.Latency(Coord{}, Coord{}, 1<<20); got != 0 {
+		t.Fatalf("zero-value LinkModel latency = %v, want 0", got)
+	}
+}
+
+func TestCoordDistance(t *testing.T) {
+	if d := (Coord{0, 0}).Distance(Coord{3, 4}); d != 5 {
+		t.Fatalf("Distance = %v, want 5", d)
+	}
+	if d := (Coord{1, 1}).Distance(Coord{1, 1}); d != 0 {
+		t.Fatalf("Distance = %v, want 0", d)
+	}
+}
+
+func TestRandomCoordsInBounds(t *testing.T) {
+	rng := blockcrypto.NewRNG(1)
+	coords := RandomCoords(100, 60, rng)
+	if len(coords) != 100 {
+		t.Fatalf("got %d coords", len(coords))
+	}
+	for _, c := range coords {
+		if c.X < 0 || c.X >= 60 || c.Y < 0 || c.Y >= 60 {
+			t.Fatalf("coord %v out of bounds", c)
+		}
+	}
+}
+
+func TestClusteredCoordsCloserWithinRegion(t *testing.T) {
+	rng := blockcrypto.NewRNG(3)
+	coords := ClusteredCoords(200, 4, 60, 1.0, rng)
+	// Nodes i and i+4 share a center; i and i+1 generally do not.
+	var same, diff float64
+	for i := 0; i+5 < len(coords); i += 4 {
+		same += coords[i].Distance(coords[i+4])
+		diff += coords[i].Distance(coords[i+1])
+	}
+	if same >= diff {
+		t.Fatalf("same-region mean distance %v >= cross-region %v", same, diff)
+	}
+}
+
+func TestSetHandlerUnknown(t *testing.T) {
+	net := New(ConstantLatency(0))
+	if err := net.SetHandler(5, nil); err == nil {
+		t.Fatal("SetHandler on unknown node succeeded")
+	}
+	if _, err := net.Coordinate(5); err == nil {
+		t.Fatal("Coordinate on unknown node succeeded")
+	}
+	if _, err := net.Traffic(5); err == nil {
+		t.Fatal("Traffic on unknown node succeeded")
+	}
+	if err := net.SetDown(5, true); err == nil {
+		t.Fatal("SetDown on unknown node succeeded")
+	}
+}
+
+func BenchmarkSendDeliver(b *testing.B) {
+	net := New(ConstantLatency(time.Millisecond))
+	for i := 0; i < 100; i++ {
+		if err := net.AddNode(NodeID(i), HandlerFunc(func(*Network, Message) {}), Coord{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := net.Send(Message{From: NodeID(i % 100), To: NodeID((i + 1) % 100), Size: 100}); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 1023 {
+			net.RunUntilIdle()
+		}
+	}
+	net.RunUntilIdle()
+}
+
+func TestUplinkSerialization(t *testing.T) {
+	net := New(ConstantLatency(0))
+	var arrivals []time.Duration
+	for i := 0; i < 4; i++ {
+		if err := net.AddNode(NodeID(i), HandlerFunc(func(n *Network, m Message) {
+			arrivals = append(arrivals, n.Now())
+		}), Coord{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.SetUplinkBandwidth(1000) // 1000 B/s
+	// Three 500-byte messages from node 0: transmissions serialize at
+	// 0.5 s each, so arrivals land at 0.5, 1.0, 1.5 s.
+	for i := 1; i <= 3; i++ {
+		if err := net.Send(Message{From: 0, To: NodeID(i), Size: 500}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.RunUntilIdle()
+	want := []time.Duration{500 * time.Millisecond, time.Second, 1500 * time.Millisecond}
+	if len(arrivals) != 3 {
+		t.Fatalf("got %d arrivals", len(arrivals))
+	}
+	for i := range want {
+		if arrivals[i] != want[i] {
+			t.Fatalf("arrival %d at %v, want %v", i, arrivals[i], want[i])
+		}
+	}
+	// Different senders do not serialize against each other.
+	net2 := New(ConstantLatency(0))
+	var n2arrivals []time.Duration
+	for i := 0; i < 3; i++ {
+		if err := net2.AddNode(NodeID(i), HandlerFunc(func(n *Network, m Message) {
+			n2arrivals = append(n2arrivals, n.Now())
+		}), Coord{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net2.SetUplinkBandwidth(1000)
+	if err := net2.Send(Message{From: 0, To: 2, Size: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net2.Send(Message{From: 1, To: 2, Size: 500}); err != nil {
+		t.Fatal(err)
+	}
+	net2.RunUntilIdle()
+	if len(n2arrivals) != 2 || n2arrivals[0] != 500*time.Millisecond || n2arrivals[1] != 500*time.Millisecond {
+		t.Fatalf("independent senders serialized: %v", n2arrivals)
+	}
+}
+
+func TestPartitionDropsCrossTraffic(t *testing.T) {
+	net, got := collectNet(t, 4, ConstantLatency(time.Millisecond))
+	net.Partition([]NodeID{0, 1}, []NodeID{2, 3})
+	// Within-group delivery works; cross-group is dropped.
+	if err := net.Send(Message{From: 0, To: 1, Kind: "in", Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(Message{From: 0, To: 2, Kind: "cross", Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	net.RunUntilIdle()
+	if len(*got) != 1 || (*got)[0].Kind != "in" {
+		t.Fatalf("deliveries = %v", *got)
+	}
+	if net.DroppedCount() != 1 {
+		t.Fatalf("DroppedCount() = %d", net.DroppedCount())
+	}
+	// Healing restores connectivity.
+	net.Heal()
+	if err := net.Send(Message{From: 0, To: 2, Kind: "cross", Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	net.RunUntilIdle()
+	if len(*got) != 2 {
+		t.Fatal("cross-group message lost after Heal")
+	}
+}
+
+func TestPartitionUngroupedNodesUnaffected(t *testing.T) {
+	net, got := collectNet(t, 3, ConstantLatency(0))
+	net.Partition([]NodeID{0}, []NodeID{1})
+	// Node 2 is in no group: reachable by everyone.
+	if err := net.Send(Message{From: 0, To: 2, Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(Message{From: 1, To: 2, Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	net.RunUntilIdle()
+	if len(*got) != 2 {
+		t.Fatalf("ungrouped node missed messages: %d", len(*got))
+	}
+}
+
+func TestPartitionMidFlight(t *testing.T) {
+	// A partition raised while a message is in flight drops it: the
+	// network models a cut link, not a sender-side check.
+	net, got := collectNet(t, 2, ConstantLatency(10*time.Millisecond))
+	if err := net.Send(Message{From: 0, To: 1, Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	net.After(time.Millisecond, func() {
+		net.Partition([]NodeID{0}, []NodeID{1})
+	})
+	net.RunUntilIdle()
+	if len(*got) != 0 {
+		t.Fatal("in-flight message crossed a fresh partition")
+	}
+}

@@ -1,0 +1,233 @@
+// Package storage implements the node-local stores every strategy builds
+// on: a header store (tiny, every node keeps all headers) and a chunk store
+// holding the slices of block bodies a node is responsible for, with exact
+// byte accounting, pinning, and garbage collection.
+//
+// The stores are in-memory maps — the simulator runs thousands of nodes in
+// one process — but the accounting mirrors what an on-disk layout would
+// consume, which is what the storage experiments measure.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/chain"
+)
+
+// Store errors.
+var (
+	ErrNotFound   = errors.New("storage: not found")
+	ErrCorrupted  = errors.New("storage: chunk does not match its digest")
+	ErrChunkEmpty = errors.New("storage: chunk is empty")
+)
+
+// ChunkID names one chunk of one block's body: the block hash plus the
+// chunk index within the block.
+type ChunkID struct {
+	Block blockcrypto.Hash
+	Index int
+}
+
+// String implements fmt.Stringer.
+func (c ChunkID) String() string {
+	return fmt.Sprintf("%s/%d", c.Block.Short(), c.Index)
+}
+
+// Chunk is a stored slice of a block body together with its digest so reads
+// are self-verifying.
+type Chunk struct {
+	ID     ChunkID
+	Data   []byte
+	Digest blockcrypto.Hash
+}
+
+// NewChunk builds a chunk, computing its digest.
+func NewChunk(id ChunkID, data []byte) Chunk {
+	return Chunk{ID: id, Data: data, Digest: blockcrypto.Sum256(data)}
+}
+
+// Verify reports whether the chunk data still matches its digest.
+func (c *Chunk) Verify() error {
+	if len(c.Data) == 0 {
+		return ErrChunkEmpty
+	}
+	if blockcrypto.Sum256(c.Data) != c.Digest {
+		return fmt.Errorf("%w: %s", ErrCorrupted, c.ID)
+	}
+	return nil
+}
+
+// Stats is a storage usage snapshot in bytes and object counts.
+type Stats struct {
+	HeaderBytes int64
+	HeaderCount int64
+	ChunkBytes  int64
+	ChunkCount  int64
+}
+
+// TotalBytes returns header plus chunk bytes.
+func (s Stats) TotalBytes() int64 { return s.HeaderBytes + s.ChunkBytes }
+
+// Store is one node's local storage. The zero value is not usable; create
+// with NewStore. Store is not safe for concurrent use (the simulator is
+// single-threaded per node).
+type Store struct {
+	headers     map[blockcrypto.Hash]chain.Header
+	headerOrder []blockcrypto.Hash
+	chunks      map[ChunkID]Chunk
+	pinned      map[ChunkID]bool
+	stats       Stats
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		headers: make(map[blockcrypto.Hash]chain.Header),
+		chunks:  make(map[ChunkID]Chunk),
+		pinned:  make(map[ChunkID]bool),
+	}
+}
+
+// PutHeader stores a block header (idempotent).
+func (s *Store) PutHeader(h chain.Header) {
+	key := h.Hash()
+	if _, ok := s.headers[key]; ok {
+		return
+	}
+	s.headers[key] = h
+	s.headerOrder = append(s.headerOrder, key)
+	s.stats.HeaderBytes += int64(chain.HeaderSize)
+	s.stats.HeaderCount++
+}
+
+// Header fetches a stored header by block hash.
+func (s *Store) Header(block blockcrypto.Hash) (chain.Header, error) {
+	h, ok := s.headers[block]
+	if !ok {
+		return chain.Header{}, fmt.Errorf("header %s: %w", block.Short(), ErrNotFound)
+	}
+	return h, nil
+}
+
+// HasHeader reports whether the header is stored.
+func (s *Store) HasHeader(block blockcrypto.Hash) bool {
+	_, ok := s.headers[block]
+	return ok
+}
+
+// Headers returns all stored headers in insertion order.
+func (s *Store) Headers() []chain.Header {
+	out := make([]chain.Header, 0, len(s.headerOrder))
+	for _, key := range s.headerOrder {
+		out = append(out, s.headers[key])
+	}
+	return out
+}
+
+// PutChunk stores a chunk after verifying it (idempotent; re-putting the
+// same chunk is a no-op, re-putting different data under the same ID is an
+// error).
+func (s *Store) PutChunk(c Chunk) error {
+	if err := c.Verify(); err != nil {
+		return err
+	}
+	if existing, ok := s.chunks[c.ID]; ok {
+		if existing.Digest != c.Digest {
+			return fmt.Errorf("storage: conflicting data for chunk %s", c.ID)
+		}
+		return nil
+	}
+	s.chunks[c.ID] = c
+	s.stats.ChunkBytes += int64(len(c.Data))
+	s.stats.ChunkCount++
+	return nil
+}
+
+// Chunk fetches a stored chunk, verifying integrity on the way out.
+func (s *Store) Chunk(id ChunkID) (Chunk, error) {
+	c, ok := s.chunks[id]
+	if !ok {
+		return Chunk{}, fmt.Errorf("chunk %s: %w", id, ErrNotFound)
+	}
+	if err := c.Verify(); err != nil {
+		return Chunk{}, err
+	}
+	return c, nil
+}
+
+// HasChunk reports whether the chunk is stored.
+func (s *Store) HasChunk(id ChunkID) bool {
+	_, ok := s.chunks[id]
+	return ok
+}
+
+// DeleteChunk removes a chunk unless pinned. Deleting a missing chunk is a
+// no-op.
+func (s *Store) DeleteChunk(id ChunkID) error {
+	if s.pinned[id] {
+		return fmt.Errorf("storage: chunk %s is pinned", id)
+	}
+	c, ok := s.chunks[id]
+	if !ok {
+		return nil
+	}
+	delete(s.chunks, id)
+	s.stats.ChunkBytes -= int64(len(c.Data))
+	s.stats.ChunkCount--
+	return nil
+}
+
+// Pin marks a chunk as protected from deletion and GC.
+func (s *Store) Pin(id ChunkID) { s.pinned[id] = true }
+
+// Unpin removes deletion protection.
+func (s *Store) Unpin(id ChunkID) { delete(s.pinned, id) }
+
+// ChunksForBlock returns the indices of stored chunks of the given block,
+// ascending.
+func (s *Store) ChunksForBlock(block blockcrypto.Hash) []int {
+	var out []int
+	for id := range s.chunks {
+		if id.Block == block {
+			out = append(out, id.Index)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// GC deletes every unpinned chunk for which keep returns false and returns
+// the number of bytes freed.
+func (s *Store) GC(keep func(ChunkID) bool) int64 {
+	var freed int64
+	for id, c := range s.chunks {
+		if s.pinned[id] || keep(id) {
+			continue
+		}
+		delete(s.chunks, id)
+		freed += int64(len(c.Data))
+		s.stats.ChunkBytes -= int64(len(c.Data))
+		s.stats.ChunkCount--
+	}
+	return freed
+}
+
+// Stats returns the current usage snapshot.
+func (s *Store) Stats() Stats { return s.stats }
+
+// Corrupt flips a byte of the stored chunk, for failure-injection tests.
+// It reports whether the chunk existed.
+func (s *Store) Corrupt(id ChunkID) bool {
+	c, ok := s.chunks[id]
+	if !ok || len(c.Data) == 0 {
+		return false
+	}
+	mutated := append([]byte(nil), c.Data...)
+	mutated[0] ^= 0xFF
+	c.Data = mutated // digest left unchanged: reads now fail verification
+	s.chunks[id] = c
+	return true
+}

@@ -1,0 +1,221 @@
+package storage
+
+import (
+	"testing"
+
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/chain"
+)
+
+func testHeader(height uint64) chain.Header {
+	return chain.Header{
+		Height:     height,
+		PrevHash:   blockcrypto.Sum256([]byte{byte(height)}),
+		MerkleRoot: blockcrypto.Sum256([]byte{byte(height), 1}),
+		TxCount:    1,
+	}
+}
+
+func testChunk(block byte, idx int, size int) Chunk {
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i) ^ block
+	}
+	return NewChunk(ChunkID{Block: blockcrypto.Sum256([]byte{block}), Index: idx}, data)
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	s := NewStore()
+	h := testHeader(3)
+	s.PutHeader(h)
+	got, err := s.Header(h.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatal("header round trip mismatch")
+	}
+	if !s.HasHeader(h.Hash()) {
+		t.Fatal("HasHeader false after Put")
+	}
+	if _, err := s.Header(blockcrypto.Sum256([]byte("missing"))); err == nil {
+		t.Fatal("missing header found")
+	}
+}
+
+func TestHeaderIdempotentAccounting(t *testing.T) {
+	s := NewStore()
+	h := testHeader(1)
+	s.PutHeader(h)
+	s.PutHeader(h)
+	st := s.Stats()
+	if st.HeaderCount != 1 || st.HeaderBytes != int64(chain.HeaderSize) {
+		t.Fatalf("stats after duplicate put: %+v", st)
+	}
+}
+
+func TestHeadersInsertionOrder(t *testing.T) {
+	s := NewStore()
+	for i := uint64(0); i < 5; i++ {
+		s.PutHeader(testHeader(i))
+	}
+	hs := s.Headers()
+	if len(hs) != 5 {
+		t.Fatalf("Headers() len = %d", len(hs))
+	}
+	for i, h := range hs {
+		if h.Height != uint64(i) {
+			t.Fatalf("insertion order broken at %d: height %d", i, h.Height)
+		}
+	}
+}
+
+func TestChunkRoundTrip(t *testing.T) {
+	s := NewStore()
+	c := testChunk(1, 0, 100)
+	if err := s.PutChunk(c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Chunk(c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Data) != string(c.Data) {
+		t.Fatal("chunk data mismatch")
+	}
+	if !s.HasChunk(c.ID) {
+		t.Fatal("HasChunk false after Put")
+	}
+	st := s.Stats()
+	if st.ChunkCount != 1 || st.ChunkBytes != 100 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.TotalBytes() != 100 {
+		t.Fatalf("TotalBytes() = %d", st.TotalBytes())
+	}
+}
+
+func TestPutChunkRejectsEmptyAndTampered(t *testing.T) {
+	s := NewStore()
+	empty := Chunk{ID: ChunkID{Index: 0}}
+	if err := s.PutChunk(empty); err == nil {
+		t.Fatal("empty chunk accepted")
+	}
+	c := testChunk(1, 0, 10)
+	c.Data[0] ^= 1 // digest now wrong
+	if err := s.PutChunk(c); err == nil {
+		t.Fatal("tampered chunk accepted")
+	}
+}
+
+func TestPutChunkConflict(t *testing.T) {
+	s := NewStore()
+	a := testChunk(1, 0, 10)
+	if err := s.PutChunk(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutChunk(a); err != nil {
+		t.Fatalf("idempotent re-put failed: %v", err)
+	}
+	b := NewChunk(a.ID, []byte("different content"))
+	if err := s.PutChunk(b); err == nil {
+		t.Fatal("conflicting chunk accepted under same ID")
+	}
+}
+
+func TestDeleteChunkAccounting(t *testing.T) {
+	s := NewStore()
+	c := testChunk(2, 1, 64)
+	if err := s.PutChunk(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteChunk(c.ID); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.ChunkBytes != 0 || st.ChunkCount != 0 {
+		t.Fatalf("stats after delete: %+v", st)
+	}
+	if err := s.DeleteChunk(c.ID); err != nil {
+		t.Fatalf("double delete errored: %v", err)
+	}
+}
+
+func TestPinBlocksDeletion(t *testing.T) {
+	s := NewStore()
+	c := testChunk(2, 1, 64)
+	if err := s.PutChunk(c); err != nil {
+		t.Fatal(err)
+	}
+	s.Pin(c.ID)
+	if err := s.DeleteChunk(c.ID); err == nil {
+		t.Fatal("pinned chunk deleted")
+	}
+	s.Unpin(c.ID)
+	if err := s.DeleteChunk(c.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunksForBlockSorted(t *testing.T) {
+	s := NewStore()
+	block := blockcrypto.Sum256([]byte{9})
+	for _, idx := range []int{5, 1, 3} {
+		c := NewChunk(ChunkID{Block: block, Index: idx}, []byte{byte(idx)})
+		if err := s.PutChunk(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.ChunksForBlock(block)
+	want := []int{1, 3, 5}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("ChunksForBlock = %v, want %v", got, want)
+	}
+	if n := len(s.ChunksForBlock(blockcrypto.Sum256([]byte("other")))); n != 0 {
+		t.Fatalf("unrelated block has %d chunks", n)
+	}
+}
+
+func TestGC(t *testing.T) {
+	s := NewStore()
+	keepers := testChunk(1, 0, 10)
+	victim := testChunk(1, 1, 20)
+	pinnedVictim := testChunk(1, 2, 30)
+	for _, c := range []Chunk{keepers, victim, pinnedVictim} {
+		if err := s.PutChunk(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Pin(pinnedVictim.ID)
+	freed := s.GC(func(id ChunkID) bool { return id == keepers.ID })
+	if freed != 20 {
+		t.Fatalf("GC freed %d bytes, want 20", freed)
+	}
+	if !s.HasChunk(keepers.ID) || !s.HasChunk(pinnedVictim.ID) || s.HasChunk(victim.ID) {
+		t.Fatal("GC kept/removed the wrong chunks")
+	}
+}
+
+func TestCorruptionDetectedOnRead(t *testing.T) {
+	s := NewStore()
+	c := testChunk(3, 0, 50)
+	if err := s.PutChunk(c); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Corrupt(c.ID) {
+		t.Fatal("Corrupt reported missing chunk")
+	}
+	if _, err := s.Chunk(c.ID); err == nil {
+		t.Fatal("corrupted chunk read back without error")
+	}
+	if s.Corrupt(ChunkID{Index: 99}) {
+		t.Fatal("Corrupt on missing chunk reported true")
+	}
+}
+
+func TestChunkIDString(t *testing.T) {
+	id := ChunkID{Block: blockcrypto.Sum256([]byte("b")), Index: 7}
+	if got := id.String(); got == "" {
+		t.Fatal("empty ChunkID string")
+	}
+}

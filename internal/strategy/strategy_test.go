@@ -1,0 +1,78 @@
+package strategy
+
+import (
+	"testing"
+
+	"icistrategy/internal/chain"
+)
+
+func TestFullReplicationStoresEverything(t *testing.T) {
+	f := NewFullReplication(10)
+	if f.Name() != "full" {
+		t.Fatalf("Name() = %q", f.Name())
+	}
+	sizes := []int64{1000, 2500, 4000}
+	var total int64
+	for _, s := range sizes {
+		f.AddBlock(s)
+		total += s
+	}
+	if f.NumBlocks() != 3 || f.NumNodes() != 10 {
+		t.Fatalf("shape: %d blocks, %d nodes", f.NumBlocks(), f.NumNodes())
+	}
+	want := total + 3*int64(chain.HeaderSize)
+	for i := 0; i < 10; i++ {
+		got, err := f.NodeBytes(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("node %d stores %d, want %d", i, got, want)
+		}
+		bs, err := f.BootstrapBytes(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bs != want {
+			t.Fatalf("bootstrap = %d, want %d", bs, want)
+		}
+	}
+}
+
+func TestFullReplicationRange(t *testing.T) {
+	f := NewFullReplication(3)
+	if _, err := f.NodeBytes(3); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if _, err := f.NodeBytes(-1); err == nil {
+		t.Fatal("negative node accepted")
+	}
+}
+
+func TestMeanAndMaxNodeBytes(t *testing.T) {
+	f := NewFullReplication(5)
+	f.AddBlock(100)
+	mean, err := MeanNodeBytes(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(100 + chain.HeaderSize)
+	if mean != want {
+		t.Fatalf("mean = %v, want %v", mean, want)
+	}
+	mx, err := MaxNodeBytes(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx != int64(want) {
+		t.Fatalf("max = %v, want %v", mx, want)
+	}
+}
+
+func TestMeanNodeBytesEmptyNetwork(t *testing.T) {
+	f := NewFullReplication(0)
+	mean, err := MeanNodeBytes(f)
+	if err != nil || mean != 0 {
+		t.Fatalf("mean over empty network = %v, %v", mean, err)
+	}
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"testing"
+
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/chain"
+)
+
+func TestNewGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(Config{Accounts: 1}); err == nil {
+		t.Fatal("one account accepted")
+	}
+	if _, err := NewGenerator(Config{Accounts: 5, PayloadBytes: -1}); err == nil {
+		t.Fatal("negative payload accepted")
+	}
+	if _, err := NewGenerator(Config{Accounts: 5, ZipfS: -0.5}); err == nil {
+		t.Fatal("negative zipf accepted")
+	}
+}
+
+func TestGeneratedTxsAreValid(t *testing.T) {
+	g, err := NewGenerator(Config{Accounts: 20, PayloadBytes: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		tx := g.NextTx()
+		if err := tx.VerifySignature(); err != nil {
+			t.Fatalf("tx %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestGeneratedChainApplies(t *testing.T) {
+	// The whole pipeline: generated blocks must apply cleanly to a ledger.
+	g, err := NewGenerator(Config{Accounts: 30, PayloadBytes: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := chain.NewLedger()
+	g.FundAll(l, 1_000_000)
+	cb, err := NewChainBuilder(g, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		b, err := cb.NextBlock(25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.ApplyBlock(b); err != nil {
+			t.Fatalf("block %d rejected by ledger: %v", i, err)
+		}
+	}
+	if cb.Height() != 20 || l.Height() != 20 {
+		t.Fatalf("heights: builder %d, ledger %d", cb.Height(), l.Height())
+	}
+}
+
+func TestUniformTxSizes(t *testing.T) {
+	g, err := NewGenerator(Config{Accounts: 10, PayloadBytes: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.TxSize()
+	for i := 0; i < 50; i++ {
+		if got := g.NextTx().EncodedSize(); got != want {
+			t.Fatalf("tx %d encodes to %d bytes, TxSize says %d", i, got, want)
+		}
+	}
+}
+
+func TestDeterministicWorkload(t *testing.T) {
+	build := func() blockcrypto.Hash {
+		g, err := NewGenerator(Config{Accounts: 10, PayloadBytes: 8, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs := g.NextTxs(50)
+		tree, err := chain.TxMerkleTree(txs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tree.Root()
+	}
+	if build() != build() {
+		t.Fatal("identical seeds produced different workloads")
+	}
+}
+
+func TestZipfSkewsSenders(t *testing.T) {
+	uniform, err := NewGenerator(Config{Accounts: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipf, err := NewGenerator(Config{Accounts: 100, ZipfS: 1.2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(g *Generator) int {
+		// How many txs does the most popular sender of the first 2000 send?
+		byFrom := map[chain.AccountID]int{}
+		best := 0
+		for i := 0; i < 2000; i++ {
+			tx := g.NextTx()
+			byFrom[tx.From]++
+			if byFrom[tx.From] > best {
+				best = byFrom[tx.From]
+			}
+		}
+		return best
+	}
+	u, z := count(uniform), count(zipf)
+	if z <= 2*u {
+		t.Fatalf("zipf max sender %d not clearly above uniform %d", z, u)
+	}
+}
+
+func TestAccountsCopy(t *testing.T) {
+	g, _ := NewGenerator(Config{Accounts: 5, Seed: 6})
+	a := g.Accounts()
+	a[0] = chain.AccountID{}
+	b := g.Accounts()
+	if b[0] == (chain.AccountID{}) {
+		t.Fatal("Accounts() exposes internal state")
+	}
+}
+
+func TestChainBuilderValidation(t *testing.T) {
+	g, _ := NewGenerator(Config{Accounts: 5, Seed: 7})
+	if _, err := NewChainBuilder(g, 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func BenchmarkNextTx(b *testing.B) {
+	g, err := NewGenerator(Config{Accounts: 1000, PayloadBytes: 40, Seed: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.NextTx()
+	}
+}
