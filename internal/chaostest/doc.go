@@ -1,0 +1,10 @@
+// Package chaostest soaks the full ICIStrategy protocol stack under
+// randomized fault injection: message drops, duplication, reordering,
+// payload corruption and node crash/restart schedules, all driven by the
+// deterministic simnet fault layer. The suite asserts the system's two core
+// promises under faults — every block that commits anywhere stays
+// retrievable with verified content, and identical seeds replay the exact
+// same run, fault for fault.
+//
+// The package contains only tests; there is no library code to import.
+package chaostest

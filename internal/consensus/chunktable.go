@@ -99,6 +99,16 @@ func (t *ChunkTable) Add(v Vote) (Decision, error) {
 	return t.Decision(), nil
 }
 
+// HasVoted reports whether voter already cast a vote (either way) on
+// chunkIdx. Leaders use it to drop duplicate deliveries of the same vote
+// and to find assignees whose vote never arrived (re-send candidates).
+func (t *ChunkTable) HasVoted(voter simnet.NodeID, chunkIdx int) bool {
+	if chunkIdx < 0 || chunkIdx >= t.parts {
+		return false
+	}
+	return t.approve[chunkIdx][voter] || t.reject[chunkIdx][voter]
+}
+
 // Approvals returns the approval count for one chunk.
 func (t *ChunkTable) Approvals(chunkIdx int) int { return len(t.approve[chunkIdx]) }
 

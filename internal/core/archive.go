@@ -203,13 +203,18 @@ func (n *Node) RetrieveArchivedBlock(net *simnet.Network, block blockcrypto.Hash
 		parts:   info.total,
 		codedK:  info.k,
 		chunks:  make(map[int]retrievedChunk),
+		timeout: fetchTimeout,
 		onBlock: cb,
 	}
 	n.fetches[req] = st
 	for _, idx := range n.store.ChunksForBlock(block) {
 		id := storage.ChunkID{Block: block, Index: idx}
 		chk, err := n.store.Chunk(id)
-		if err != nil || !n.meta[id].coded {
+		if err != nil {
+			n.metrics.LocalChunkErrors.Inc()
+			continue
+		}
+		if !n.meta[id].coded {
 			continue
 		}
 		st.chunks[idx] = retrievedChunk{Idx: idx, Raw: chk.Data, Coded: true}
@@ -217,25 +222,9 @@ func (n *Node) RetrieveArchivedBlock(net *simnet.Network, block blockcrypto.Hash
 	if n.tryFinishCodedRetrieve(req, st) {
 		return
 	}
-	for _, m := range n.cluster.members {
-		if m == n.id {
-			continue
-		}
-		st.waiting++
-		_ = net.Send(simnet.Message{
-			From: n.id, To: m, Kind: KindGetBlockChunks,
-			Size: reqOverhead, Payload: getBlockChunksMsg{Block: block, ReqID: req},
-		})
-	}
-	if st.waiting == 0 {
-		n.failFetch(req, st, ErrRetrieveFailed)
-		return
-	}
-	net.After(fetchTimeout, func() {
-		if cur, ok := n.fetches[req]; ok && !cur.done {
-			n.failFetch(req, cur, ErrRetrieveFailed)
-		}
-	})
+	// Shares ride the same request/response pair as live chunks, so the
+	// retry-aware broadcast round of RetrieveBlock serves both modes.
+	n.broadcastFetch(net, req, st)
 }
 
 // tryFinishCodedRetrieve reconstructs once k distinct shares are present.

@@ -32,6 +32,12 @@ const (
 	// for a block (full-block retrieval).
 	KindGetBlockChunks = "ici/get-block-chunks"
 	KindBlockChunks    = "ici/block-chunks"
+	// KindGetCommit pulls a block's commit certificate from a peer that
+	// finalized it. Members send it when the commit announcement for a
+	// block they hold pending chunks of never arrived (lost on the wire or
+	// missed during a crash); the answer is an ordinary KindCommit. A
+	// failure-free run never sends one.
+	KindGetCommit = "ici/get-commit"
 )
 
 // reqOverhead is the wire size of a small request (kind tag, block hash,
@@ -97,6 +103,11 @@ type commitMsg struct {
 
 func (m commitMsg) wireSize() int {
 	return chain.HeaderSize + 8 + len(m.Votes)*consensus.EncodedVoteSize
+}
+
+// getCommitMsg asks a peer for the commit certificate of one block.
+type getCommitMsg struct {
+	Block blockcrypto.Hash
 }
 
 // getHeadersMsg asks a sponsor for all headers above FromHeight.

@@ -20,9 +20,21 @@ var (
 	ErrChunkLost       = errors.New("core: chunk unrecoverable inside cluster")
 )
 
-// fetchTimeout bounds how long (virtual time) an async fetch waits before
-// reporting failure.
+// fetchTimeout bounds how long (virtual time) one round of an async fetch
+// waits before retrying or reporting failure. Each retry doubles it.
 const fetchTimeout = 30 * time.Second
+
+// maxFetchAttempts is the number of request rounds a broadcast fetch
+// (retrieval, inclusion query, header sync) issues before giving up. A
+// round is only retried when it timed out — a round in which every member
+// answered and the data still was not there is definitive.
+const maxFetchAttempts = 3
+
+// maxSourcePasses bounds how many full sweeps over its source list a
+// single-chunk fetch makes. A pass in which every source answered "not
+// found" is definitive; extra passes only happen after timeouts (a source
+// may have been down and restarted).
+const maxSourcePasses = 2
 
 // Behavior configures fault injection for a node, used by the robustness
 // tests and the failure experiments.
@@ -76,16 +88,28 @@ type leaderState struct {
 // fetchState tracks one async multi-message operation (retrieval,
 // bootstrap chunk fetch).
 type fetchState struct {
-	block     blockcrypto.Hash
-	parts     int // 0 until learned
-	codedK    int // >0 for archived-block retrievals
-	chunks    map[int]retrievedChunk
-	waiting   int             // outstanding responses
-	remaining []simnet.NodeID // fallback owners for single-chunk fetches
-	idx       int             // chunk index for single-chunk fetches
-	done      bool
-	onBlock   func(*chain.Block, error)
-	onChunk   func(error)
+	block  blockcrypto.Hash
+	parts  int // 0 until learned
+	codedK int // >0 for archived-block retrievals
+	chunks map[int]retrievedChunk
+
+	// Broadcast fetches (full-block retrieval) re-ask the whole cluster on
+	// timeout, with doubled timeout, up to maxFetchAttempts rounds.
+	waiting   int                     // outstanding responses this round
+	responded map[simnet.NodeID]bool  // members that answered this round
+	attempts  int                     // rounds issued so far
+	timeout   time.Duration           // current round's timeout
+
+	// Single-chunk fetches walk a source ring: the next rendezvous replica
+	// on a miss or timeout, wrapping for one extra pass after timeouts.
+	sources     []simnet.NodeID
+	srcPos      int
+	passes      int
+	timedOut    bool // a source timed out during the current pass
+	idx         int  // chunk index for single-chunk fetches
+	done        bool
+	onBlock     func(*chain.Block, error)
+	onChunk     func(error)
 }
 
 // Node is one ICIStrategy participant. Nodes are driven entirely by the
@@ -105,11 +129,19 @@ type Node struct {
 
 	leading map[blockcrypto.Hash]*leaderState
 	pending map[blockcrypto.Hash][]chunkPayload
+	// pendingLeader remembers which leader distributed each pending block,
+	// so a member whose commit announcement was lost knows whom to probe.
+	pendingLeader map[blockcrypto.Hash]simnet.NodeID
+	// commits retains the certificate of each finalized block (bounded by
+	// sweepStale) so lost commit announcements can be re-served on demand.
+	commits map[blockcrypto.Hash]commitMsg
 
 	fetches   map[uint64]*fetchState
 	txQueries map[uint64]*txQueryState
 	nextReq   uint64
 	bootstrap *bootstrapState
+
+	metrics NodeMetrics
 
 	// committedHeights counts blocks this node has finalized, for tests
 	// and throughput accounting.
@@ -128,6 +160,8 @@ func newNode(id simnet.NodeID, ci *clusterInfo, key blockcrypto.KeyPair, replica
 		replication: replication,
 		leading:     make(map[blockcrypto.Hash]*leaderState),
 		pending:     make(map[blockcrypto.Hash][]chunkPayload),
+		pendingLeader: make(map[blockcrypto.Hash]simnet.NodeID),
+		commits:     make(map[blockcrypto.Hash]commitMsg),
 		fetches:     make(map[uint64]*fetchState),
 		txQueries:   make(map[uint64]*txQueryState),
 	}
@@ -144,6 +178,10 @@ func (n *Node) ProofBytes() int64 { return n.proofBytes }
 
 // CommittedBlocks returns how many blocks this node has finalized.
 func (n *Node) CommittedBlocks() int { return n.committed }
+
+// HasFinalized reports whether this node committed the given block (stored
+// its header) — the precondition for retrieving it through this node.
+func (n *Node) HasFinalized(block blockcrypto.Hash) bool { return n.store.HasHeader(block) }
 
 // SetBehavior installs fault injection.
 func (n *Node) SetBehavior(b Behavior) { n.behavior = b }
@@ -181,7 +219,7 @@ func (n *Node) HandleMessage(net *simnet.Network, msg simnet.Message) {
 		}
 	case KindChunkResp:
 		if m, ok := msg.Payload.(chunkRespMsg); ok {
-			n.onChunkResp(net, m)
+			n.onChunkResp(net, msg.From, m)
 		}
 	case KindGetBlockChunks:
 		if m, ok := msg.Payload.(getBlockChunksMsg); ok {
@@ -189,7 +227,11 @@ func (n *Node) HandleMessage(net *simnet.Network, msg simnet.Message) {
 		}
 	case KindBlockChunks:
 		if m, ok := msg.Payload.(blockChunksMsg); ok {
-			n.onBlockChunks(m)
+			n.onBlockChunks(net, msg.From, m)
+		}
+	case KindGetCommit:
+		if m, ok := msg.Payload.(getCommitMsg); ok {
+			n.onGetCommit(net, msg.From, m)
 		}
 	case KindGetTxProof:
 		if m, ok := msg.Payload.(getTxProofMsg); ok {
@@ -197,7 +239,7 @@ func (n *Node) HandleMessage(net *simnet.Network, msg simnet.Message) {
 		}
 	case KindTxProof:
 		if m, ok := msg.Payload.(txProofMsg); ok {
-			n.onTxProof(m)
+			n.onTxProof(net, msg.From, m)
 		}
 	case KindArchiveShare:
 		if m, ok := msg.Payload.(archiveShareMsg); ok {
@@ -319,6 +361,17 @@ func (n *Node) coverageCheck(net *simnet.Network, block blockcrypto.Hash) {
 		return // candidates exhausted; the block stays uncommitted here
 	}
 	for _, idx := range st.table.Uncovered() {
+		// First re-send the chunk to assignees that never voted: either the
+		// chunk or the vote was lost on the wire, and a re-delivery makes
+		// the member re-vote (both sides are idempotent). Then extend the
+		// assignment down the ranking as before. Assignment order follows
+		// the rendezvous ranking so re-sends are deterministic.
+		for _, m := range st.ranking[idx][:min(st.nextCand[idx], len(st.ranking[idx]))] {
+			if st.assigned[idx][m] && !st.table.HasVoted(m, idx) {
+				n.metrics.ChunkResends.Inc()
+				n.sendChunk(net, m, st.payloads[idx])
+			}
+		}
 		n.reassignChunk(net, st, idx)
 	}
 	net.After(coverInterval, func() { n.coverageCheck(net, block) })
@@ -362,25 +415,60 @@ func verifyChunk(c chunkPayload) error {
 }
 
 // onChunk runs on a chunk assignee: verify the share and vote on exactly
-// the chunk received.
+// the chunk received. Ingestion is idempotent — a chunk already held
+// (persisted or pending) is not re-verified or re-queued, but the member
+// re-votes so that a vote lost on the wire cannot stall the commit (the
+// leader re-sends chunks to silent assignees for exactly this reason).
 func (n *Node) onChunk(net *simnet.Network, leader simnet.NodeID, c chunkPayload) {
 	hash := c.Header.Hash()
+	if n.hasChunkData(hash, c.PartIdx) {
+		n.metrics.DuplicateChunks.Inc()
+		n.voteChunk(net, leader, hash, c.PartIdx, true)
+		return
+	}
 	approve := verifyChunk(c) == nil
 	if approve {
 		if n.store.HasHeader(hash) {
 			// Commit already happened (late reassignment): persist now.
 			n.persistChunk(hash, c)
 		} else {
+			if len(n.pending[hash]) == 0 {
+				// First chunk of a block this node has not committed:
+				// remember the distributing leader and arm the commit
+				// probe in case the commit announcement gets lost.
+				n.pendingLeader[hash] = leader
+				n.scheduleCommitProbe(net, hash, 1)
+			}
 			n.pending[hash] = append(n.pending[hash], c)
 		}
 	}
+	n.voteChunk(net, leader, hash, c.PartIdx, approve)
+}
+
+// hasChunkData reports whether this node already holds chunk idx of block,
+// either persisted or queued pending commit.
+func (n *Node) hasChunkData(block blockcrypto.Hash, idx int) bool {
+	if n.store.HasChunk(storage.ChunkID{Block: block, Index: idx}) {
+		return true
+	}
+	for _, p := range n.pending[block] {
+		if p.PartIdx == idx {
+			return true
+		}
+	}
+	return false
+}
+
+// voteChunk signs and delivers this member's verdict on one chunk,
+// applying the Byzantine behavior knobs.
+func (n *Node) voteChunk(net *simnet.Network, leader simnet.NodeID, block blockcrypto.Hash, idx int, approve bool) {
 	if n.behavior.DropVotes {
 		return
 	}
 	if n.behavior.VoteReject {
 		approve = false
 	}
-	vote := consensus.SignChunkVote(n.id, hash, c.PartIdx, approve, n.key)
+	vote := consensus.SignChunkVote(n.id, block, idx, approve, n.key)
 	if leader == n.id {
 		n.onVote(net, vote)
 		return
@@ -388,6 +476,73 @@ func (n *Node) onChunk(net *simnet.Network, leader simnet.NodeID, c chunkPayload
 	_ = net.Send(simnet.Message{
 		From: n.id, To: leader, Kind: KindVote,
 		Size: consensus.EncodedVoteSize, Payload: vote,
+	})
+}
+
+// commitProbeDelay is how long a member holding pending chunks waits for
+// the commit announcement before pulling the commit status itself. It is
+// far above the failure-free commit latency, so probes only fire (as
+// no-ops) after the fact in clean runs and only hit the wire when the
+// announcement was actually lost.
+const commitProbeDelay = 3 * coverInterval
+
+// maxCommitProbes bounds the pull attempts per block.
+const maxCommitProbes = 3
+
+// scheduleCommitProbe arms one commit-status pull for a block this node
+// holds pending chunks of. Probes back off exponentially and rotate away
+// from the leader in case it crashed after committing.
+func (n *Node) scheduleCommitProbe(net *simnet.Network, block blockcrypto.Hash, attempt int) {
+	net.After(commitProbeDelay<<(attempt-1), func() {
+		if n.store.HasHeader(block) {
+			return // commit arrived normally
+		}
+		if _, ok := n.pending[block]; !ok {
+			return // swept: the proposal is dead
+		}
+		if target, ok := n.commitProbeTarget(block, attempt); ok {
+			n.metrics.CommitProbes.Inc()
+			_ = net.Send(simnet.Message{
+				From: n.id, To: target, Kind: KindGetCommit,
+				Size: reqOverhead, Payload: getCommitMsg{Block: block},
+			})
+		}
+		if attempt < maxCommitProbes {
+			n.scheduleCommitProbe(net, block, attempt+1)
+		}
+	})
+}
+
+// commitProbeTarget picks whom to ask for a block's commit status: the
+// distributing leader first, then a deterministic rotation over the rest
+// of the cluster.
+func (n *Node) commitProbeTarget(block blockcrypto.Hash, attempt int) (simnet.NodeID, bool) {
+	if attempt == 1 {
+		if l, ok := n.pendingLeader[block]; ok && l != n.id {
+			return l, true
+		}
+	}
+	members := n.cluster.members
+	for i := 0; i < len(members); i++ {
+		m := members[(attempt+i)%len(members)]
+		if m != n.id {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// onGetCommit re-serves a retained commit certificate to a member whose
+// commit announcement was lost. Unknown (or swept) blocks are ignored —
+// the prober's backoff handles silence.
+func (n *Node) onGetCommit(net *simnet.Network, from simnet.NodeID, m getCommitMsg) {
+	cm, ok := n.commits[m.Block]
+	if !ok {
+		return
+	}
+	_ = net.Send(simnet.Message{
+		From: n.id, To: from, Kind: KindCommit,
+		Size: cm.wireSize(), Payload: cm,
 	})
 }
 
@@ -405,6 +560,12 @@ func (n *Node) onVote(net *simnet.Network, v consensus.Vote) {
 	}
 	if !st.assigned[v.ChunkIdx][v.Voter] {
 		return // votes from members never assigned the chunk carry no weight
+	}
+	if st.table.HasVoted(v.Voter, v.ChunkIdx) {
+		// Duplicate delivery, or a re-vote triggered by a chunk re-send
+		// racing the original vote: the first verdict stands.
+		n.metrics.DuplicateVotes.Inc()
+		return
 	}
 	pub := n.registry(v.Voter)
 	if pub == nil || consensus.VerifyVote(v, pub) != nil {
@@ -474,11 +635,15 @@ func (n *Node) onCommit(m commitMsg) {
 		return
 	}
 	n.store.PutHeader(m.Header)
+	// Retain the certificate so lost commit announcements can be re-served
+	// to probing members (bounded by sweepStale).
+	n.commits[hash] = m
 	n.committed++
 	for _, c := range n.pending[hash] {
 		n.persistChunk(hash, c)
 	}
 	delete(n.pending, hash)
+	delete(n.pendingLeader, hash)
 	delete(n.leading, hash)
 	n.sweepStale(m.Header.Height)
 }
@@ -498,11 +663,17 @@ func (n *Node) sweepStale(committedHeight uint64) {
 	for hash, chunks := range n.pending {
 		if len(chunks) > 0 && chunks[0].Header.Height < cutoff {
 			delete(n.pending, hash)
+			delete(n.pendingLeader, hash)
 		}
 	}
 	for hash, st := range n.leading {
 		if st.block.Header.Height < cutoff {
 			delete(n.leading, hash)
+		}
+	}
+	for hash, cm := range n.commits {
+		if cm.Header.Height < cutoff {
+			delete(n.commits, hash)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"icistrategy/internal/blockcrypto"
 	"icistrategy/internal/chain"
@@ -24,6 +25,7 @@ func (n *Node) RetrieveBlock(net *simnet.Network, block blockcrypto.Hash, cb fun
 	st := &fetchState{
 		block:   block,
 		chunks:  make(map[int]retrievedChunk),
+		timeout: fetchTimeout,
 		onBlock: cb,
 	}
 	n.fetches[req] = st
@@ -33,17 +35,35 @@ func (n *Node) RetrieveBlock(net *simnet.Network, block blockcrypto.Hash, cb fun
 		id := storage.ChunkID{Block: block, Index: idx}
 		chk, err := n.store.Chunk(id)
 		if err != nil {
+			// A locally held chunk that fails its digest check (bit rot,
+			// torn write) must not be silently skipped: count it and fall
+			// through to the remote fetch below, which re-establishes the
+			// chunk from the other owners.
+			n.metrics.LocalChunkErrors.Inc()
 			continue
 		}
 		meta := n.meta[id]
 		if txs, derr := chain.DecodeBody(chk.Data); derr == nil {
 			st.parts = meta.parts
 			st.chunks[idx] = retrievedChunk{Idx: idx, TxStart: meta.txStart, Txs: txs}
+		} else {
+			n.metrics.LocalChunkErrors.Inc()
 		}
 	}
 	if n.tryFinishRetrieve(req, st) {
 		return
 	}
+	n.broadcastFetch(net, req, st)
+}
+
+// broadcastFetch issues one round of cluster-wide chunk requests for a
+// retrieval and arms its timeout. Timed-out rounds are retried with doubled
+// timeout up to maxFetchAttempts; a round every member answered without
+// completing the block is definitive and fails immediately.
+func (n *Node) broadcastFetch(net *simnet.Network, req uint64, st *fetchState) {
+	st.attempts++
+	st.waiting = 0
+	st.responded = make(map[simnet.NodeID]bool, len(n.cluster.members))
 	for _, m := range n.cluster.members {
 		if m == n.id {
 			continue
@@ -51,26 +71,40 @@ func (n *Node) RetrieveBlock(net *simnet.Network, block blockcrypto.Hash, cb fun
 		st.waiting++
 		_ = net.Send(simnet.Message{
 			From: n.id, To: m, Kind: KindGetBlockChunks,
-			Size: reqOverhead, Payload: getBlockChunksMsg{Block: block, ReqID: req},
+			Size: reqOverhead, Payload: getBlockChunksMsg{Block: st.block, ReqID: req},
 		})
 	}
 	if st.waiting == 0 {
 		n.failFetch(req, st, ErrRetrieveFailed)
 		return
 	}
-	net.After(fetchTimeout, func() {
-		if cur, ok := n.fetches[req]; ok && !cur.done {
-			n.failFetch(req, cur, ErrRetrieveFailed)
+	attempt := st.attempts
+	net.After(st.timeout, func() {
+		cur, ok := n.fetches[req]
+		if !ok || cur.done || cur.attempts != attempt {
+			return // finished, or a newer round superseded this timer
 		}
+		if cur.attempts >= maxFetchAttempts {
+			n.failFetch(req, cur, ErrRetrieveFailed)
+			return
+		}
+		n.metrics.RetrieveRetries.Inc()
+		cur.timeout *= 2
+		n.broadcastFetch(net, req, cur)
 	})
 }
 
 // onBlockChunks consumes one member's contribution to a retrieval.
-func (n *Node) onBlockChunks(m blockChunksMsg) {
+func (n *Node) onBlockChunks(net *simnet.Network, from simnet.NodeID, m blockChunksMsg) {
 	st, ok := n.fetches[m.ReqID]
 	if !ok || st.done || st.block != m.Block {
 		return
 	}
+	if st.responded[from] {
+		n.metrics.DuplicateResponses.Inc()
+		return // duplicate delivery of a response already merged
+	}
+	st.responded[from] = true
 	st.waiting--
 	if m.Parts > 0 && st.codedK == 0 {
 		st.parts = m.Parts
@@ -93,6 +127,9 @@ func (n *Node) onBlockChunks(m blockChunksMsg) {
 		return
 	}
 	if st.waiting == 0 {
+		// Every member answered and the block is still incomplete: the
+		// data is genuinely missing right now; retrying the same members
+		// cannot help.
 		n.failFetch(m.ReqID, st, ErrRetrieveFailed)
 	}
 }
@@ -149,6 +186,11 @@ type bootstrapState struct {
 	sponsor     simnet.NodeID
 	outstanding int
 	failed      bool
+	// headersDone latches the header phase: a duplicate headersMsg must not
+	// rerun the chunk-fetch fan-out.
+	headersDone bool
+	attempts    int
+	timeout     time.Duration
 	cb          func(error)
 }
 
@@ -158,15 +200,37 @@ type bootstrapState struct {
 // already be registered in the network and present in the cluster's member
 // list (System.JoinCluster arranges both).
 func (n *Node) Bootstrap(net *simnet.Network, sponsor simnet.NodeID, cb func(error)) {
-	n.bootstrap = &bootstrapState{sponsor: sponsor, cb: cb}
+	n.bootstrap = &bootstrapState{sponsor: sponsor, timeout: fetchTimeout, cb: cb}
+	n.requestHeaders(net)
+}
+
+// requestHeaders sends one header request to the sponsor and arms its
+// timeout. Lost requests (or lost replies) are retried with doubled timeout
+// up to maxFetchAttempts; the chunk phase that follows has its own per-fetch
+// retry logic and needs no outer timer.
+func (n *Node) requestHeaders(net *simnet.Network) {
+	bs := n.bootstrap
+	if bs == nil || bs.headersDone {
+		return
+	}
+	bs.attempts++
+	attempt := bs.attempts
 	_ = net.Send(simnet.Message{
-		From: n.id, To: sponsor, Kind: KindGetHeaders,
+		From: n.id, To: bs.sponsor, Kind: KindGetHeaders,
 		Size: reqOverhead, Payload: getHeadersMsg{FromHeight: 0},
 	})
-	net.After(fetchTimeout, func() {
-		if n.bootstrap != nil && n.bootstrap.cb != nil {
-			n.finishBootstrap(ErrBootstrapFailed)
+	net.After(bs.timeout, func() {
+		cur := n.bootstrap
+		if cur == nil || cur.headersDone || cur.attempts != attempt {
+			return
 		}
+		if cur.attempts >= maxFetchAttempts {
+			n.finishBootstrap(ErrBootstrapFailed)
+			return
+		}
+		n.metrics.BootstrapRetries.Inc()
+		cur.timeout *= 2
+		n.requestHeaders(net)
 	})
 }
 
@@ -177,6 +241,11 @@ func (n *Node) onHeaders(net *simnet.Network, m headersMsg) {
 	if bs == nil {
 		return
 	}
+	if bs.headersDone {
+		n.metrics.DuplicateResponses.Inc()
+		return // duplicate delivery of the sponsor's answer
+	}
+	bs.headersDone = true
 	// Validate linkage before trusting anything.
 	var prev *chain.Header
 	for i := range m.Headers {
@@ -284,25 +353,60 @@ func (n *Node) fetchChunk(net *simnet.Network, block blockcrypto.Hash, idx int, 
 	n.nextReq++
 	req := n.nextReq
 	st := &fetchState{
-		block:     block,
-		idx:       idx,
-		remaining: sources[1:],
-		onChunk:   cb,
+		block:   block,
+		idx:     idx,
+		sources: sources,
+		timeout: fetchTimeout,
+		onChunk: cb,
 	}
 	n.fetches[req] = st
+	n.sendChunkReq(net, req, st)
+}
+
+// sendChunkReq asks the fetch's current source for the chunk and arms a
+// per-request timeout. A timed-out source is skipped (it may be crashed, or
+// the request/response was lost) and the fetch moves on.
+func (n *Node) sendChunkReq(net *simnet.Network, req uint64, st *fetchState) {
+	st.attempts++
+	attempt := st.attempts
 	_ = net.Send(simnet.Message{
-		From: n.id, To: sources[0], Kind: KindGetChunk,
-		Size: reqOverhead, Payload: getChunkMsg{Block: block, Idx: idx, ReqID: req},
+		From: n.id, To: st.sources[st.srcPos], Kind: KindGetChunk,
+		Size: reqOverhead, Payload: getChunkMsg{Block: st.block, Idx: st.idx, ReqID: req},
 	})
-	net.After(fetchTimeout, func() {
-		if cur, ok := n.fetches[req]; ok && !cur.done {
-			n.failFetch(req, cur, ErrChunkLost)
+	net.After(st.timeout, func() {
+		cur, ok := n.fetches[req]
+		if !ok || cur.done || cur.attempts != attempt {
+			return // answered, or a later request superseded this timer
 		}
+		n.metrics.FetchTimeouts.Inc()
+		cur.timedOut = true
+		n.advanceChunkSource(net, req, cur)
 	})
 }
 
-// onChunkResp finishes (or retries) a single-chunk fetch.
-func (n *Node) onChunkResp(net *simnet.Network, m chunkRespMsg) {
+// advanceChunkSource moves a single-chunk fetch to its next source. When the
+// ring is exhausted it starts another pass with a doubled timeout — but only
+// if some source timed out during the pass: a pass where every source
+// definitively answered "don't have it" (or served garbage) cannot be saved
+// by asking again.
+func (n *Node) advanceChunkSource(net *simnet.Network, req uint64, st *fetchState) {
+	st.srcPos++
+	if st.srcPos >= len(st.sources) {
+		if !st.timedOut || st.passes+1 >= maxSourcePasses {
+			n.failFetch(req, st, ErrChunkLost)
+			return
+		}
+		st.passes++
+		st.srcPos = 0
+		st.timedOut = false
+		st.timeout *= 2
+		n.metrics.FetchRetries.Inc()
+	}
+	n.sendChunkReq(net, req, st)
+}
+
+// onChunkResp finishes (or advances) a single-chunk fetch.
+func (n *Node) onChunkResp(net *simnet.Network, from simnet.NodeID, m chunkRespMsg) {
 	st, ok := n.fetches[m.ReqID]
 	if !ok || st.done || st.block != m.Block {
 		return
@@ -318,23 +422,22 @@ func (n *Node) onChunkResp(net *simnet.Network, m chunkRespMsg) {
 		}
 	}
 	if ok {
+		// A verified chunk is accepted from any source, even one already
+		// timed out: the data speaks for itself.
 		delete(n.fetches, m.ReqID)
 		st.done = true
 		n.persistChunk(m.Block, m.Chunk)
 		st.onChunk(nil)
 		return
 	}
-	// Try the next source.
-	if len(st.remaining) == 0 {
-		n.failFetch(m.ReqID, st, ErrChunkLost)
+	// A definitive negative (or invalid) answer only advances the fetch if
+	// it came from the source currently being waited on; stale answers from
+	// sources already skipped must not double-advance the ring.
+	if st.srcPos < len(st.sources) && from == st.sources[st.srcPos] {
+		n.advanceChunkSource(net, m.ReqID, st)
 		return
 	}
-	next := st.remaining[0]
-	st.remaining = st.remaining[1:]
-	_ = net.Send(simnet.Message{
-		From: n.id, To: next, Kind: KindGetChunk,
-		Size: reqOverhead, Payload: getChunkMsg{Block: m.Block, Idx: st.idx, ReqID: m.ReqID},
-	})
+	n.metrics.DuplicateResponses.Inc()
 }
 
 // --- repair -------------------------------------------------------------------

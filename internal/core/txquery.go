@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"icistrategy/internal/blockcrypto"
 	"icistrategy/internal/chain"
@@ -66,11 +67,14 @@ func (m txProofMsg) wireSize() int {
 
 // txQueryState tracks one in-flight inclusion query.
 type txQueryState struct {
-	block   blockcrypto.Hash
-	txID    blockcrypto.Hash
-	waiting int
-	done    bool
-	cb      func(TxProof, error)
+	block     blockcrypto.Hash
+	txID      blockcrypto.Hash
+	waiting   int
+	responded map[simnet.NodeID]bool
+	attempts  int
+	timeout   time.Duration
+	done      bool
+	cb        func(TxProof, error)
 }
 
 // QueryTxProof asks this node's cluster for an inclusion proof of txID in
@@ -91,8 +95,19 @@ func (n *Node) QueryTxProof(net *simnet.Network, block, txID blockcrypto.Hash, c
 	}
 	n.nextReq++
 	req := n.nextReq
-	st := &txQueryState{block: block, txID: txID, cb: cb}
+	st := &txQueryState{block: block, txID: txID, timeout: fetchTimeout, cb: cb}
 	n.txQueries[req] = st
+	n.broadcastTxQuery(net, req, st)
+}
+
+// broadcastTxQuery issues one round of cluster-wide proof requests and arms
+// its timeout; timed-out rounds are retried with doubled timeout up to
+// maxFetchAttempts. A round every member answered without producing the
+// proof is a definitive not-found.
+func (n *Node) broadcastTxQuery(net *simnet.Network, req uint64, st *txQueryState) {
+	st.attempts++
+	st.waiting = 0
+	st.responded = make(map[simnet.NodeID]bool, len(n.cluster.members))
 	for _, m := range n.cluster.members {
 		if m == n.id {
 			continue
@@ -100,20 +115,29 @@ func (n *Node) QueryTxProof(net *simnet.Network, block, txID blockcrypto.Hash, c
 		st.waiting++
 		_ = net.Send(simnet.Message{
 			From: n.id, To: m, Kind: KindGetTxProof,
-			Size: reqOverhead, Payload: getTxProofMsg{Block: block, TxID: txID, ReqID: req},
+			Size: reqOverhead, Payload: getTxProofMsg{Block: st.block, TxID: st.txID, ReqID: req},
 		})
 	}
 	if st.waiting == 0 {
 		delete(n.txQueries, req)
-		cb(TxProof{}, ErrTxNotFound)
+		st.cb(TxProof{}, ErrTxNotFound)
 		return
 	}
-	net.After(fetchTimeout, func() {
-		if cur, ok := n.txQueries[req]; ok && !cur.done {
+	attempt := st.attempts
+	net.After(st.timeout, func() {
+		cur, ok := n.txQueries[req]
+		if !ok || cur.done || cur.attempts != attempt {
+			return
+		}
+		if cur.attempts >= maxFetchAttempts {
 			cur.done = true
 			delete(n.txQueries, req)
 			cur.cb(TxProof{}, ErrTxNotFound)
+			return
 		}
+		n.metrics.TxQueryRetries.Inc()
+		cur.timeout *= 2
+		n.broadcastTxQuery(net, req, cur)
 	})
 }
 
@@ -157,11 +181,16 @@ func (n *Node) onGetTxProof(net *simnet.Network, from simnet.NodeID, m getTxProo
 }
 
 // onTxProof consumes one member's answer to an inclusion query.
-func (n *Node) onTxProof(m txProofMsg) {
+func (n *Node) onTxProof(net *simnet.Network, from simnet.NodeID, m txProofMsg) {
 	st, ok := n.txQueries[m.ReqID]
 	if !ok || st.done || st.block != m.Block {
 		return
 	}
+	if st.responded[from] {
+		n.metrics.DuplicateResponses.Inc()
+		return
+	}
+	st.responded[from] = true
 	req := m.ReqID
 	st.waiting--
 	if m.Found && m.Tx != nil && m.Tx.ID() == st.txID {

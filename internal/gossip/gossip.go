@@ -135,7 +135,8 @@ type Tree struct {
 	Kind    string
 	OnFirst Deliver
 
-	seen map[blockcrypto.Hash]bool
+	seen       map[blockcrypto.Hash]bool
+	duplicates int64
 }
 
 // NewTree builds a tree-multicast engine for one node.
@@ -186,6 +187,9 @@ func (t *Tree) HandleMessage(net *simnet.Network, msg simnet.Message) {
 		return
 	}
 	if t.seen[te.Env.ID] {
+		// A clean tree delivers exactly once; duplicates mean the network
+		// re-delivered (fault injection) or the membership views diverged.
+		t.duplicates++
 		return
 	}
 	t.seen[te.Env.ID] = true
@@ -201,6 +205,11 @@ func (t *Tree) HandleMessage(net *simnet.Network, msg simnet.Message) {
 	pos := (self - te.Root + n) % n
 	t.forward(net, te, msg.Size, pos)
 }
+
+// Duplicates returns how many redundant copies this node received. It is 0
+// in a fault-free run (the tree's exactly-once property) and counts network
+// re-deliveries under fault injection.
+func (t *Tree) Duplicates() int64 { return t.duplicates }
 
 // forward sends to the children of virtual position pos.
 func (t *Tree) forward(net *simnet.Network, te treeEnvelope, size int, pos int) {

@@ -224,3 +224,23 @@ func TestTreeBroadcastFromNonMember(t *testing.T) {
 		t.Fatal("non-member broadcast scheduled messages")
 	}
 }
+
+func TestTreeCountsDuplicatesUnderFaults(t *testing.T) {
+	net, trees, delivered := treeNet(t, 16, 2)
+	// Duplicate every message; the tree must still deliver exactly once per
+	// member and account for every redundant copy it suppressed.
+	net.EnableFaults(7, simnet.FaultConfig{DupRate: 1})
+	env := Envelope{ID: blockcrypto.Sum256([]byte("dup-storm")), Payload: "x"}
+	trees[0].Broadcast(net, env, 200)
+	net.RunUntilIdle()
+	var dups int64
+	for i, tr := range trees {
+		if i != 0 && delivered[i] != 1 {
+			t.Fatalf("node %d delivered %d times under duplication", i, delivered[i])
+		}
+		dups += tr.Duplicates()
+	}
+	if dups == 0 {
+		t.Fatal("duplication faults produced no counted duplicates")
+	}
+}

@@ -1,0 +1,96 @@
+package netx
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"icistrategy/internal/blockcrypto"
+)
+
+// frame wraps raw bytes in a protocol frame (length prefix + body).
+func frame(body []byte) []byte {
+	out := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(out, uint32(len(body)))
+	copy(out[4:], body)
+	return out
+}
+
+// FuzzReadMessage feeds arbitrary byte streams to the frame decoder.
+// Malformed, truncated and oversized frames must all come back as errors —
+// never a panic, and never an allocation sized by a hostile length prefix.
+// Frames that decode successfully must survive a write/read round-trip.
+func FuzzReadMessage(f *testing.F) {
+	// Corpus: empty, truncated header, length prefix with no body, a frame
+	// claiming far more than it carries, an oversized claim, and two valid
+	// messages.
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{0, 0, 0, 9})
+	f.Add(frame([]byte("not gob")))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})
+	var buf bytes.Buffer
+	if err := writeMessage(&buf, &Request{GetHeaders: &GetHeadersReq{FromHeight: 3}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	buf.Reset()
+	if err := writeMessage(&buf, &Request{GetChunk: &GetChunkReq{Block: blockcrypto.Sum256([]byte("b")), Index: 2}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		if err := readMessage(bytes.NewReader(data), &req); err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := writeMessage(&out, &req); err != nil {
+			t.Fatalf("re-encode of accepted request: %v", err)
+		}
+		var again Request
+		if err := readMessage(&out, &again); err != nil {
+			t.Fatalf("re-decode of accepted request: %v", err)
+		}
+	})
+}
+
+// TestReadMessageTruncatedBody pins the incremental-read hardening: a frame
+// header claiming the full 64 MiB on a stream that ends after a few bytes
+// must fail with ErrUnexpectedEOF after reading only what arrived, not
+// allocate the claimed size up front.
+func TestReadMessageTruncatedBody(t *testing.T) {
+	hdr := make([]byte, 4, 12)
+	binary.BigEndian.PutUint32(hdr, maxMessageSize)
+	stream := append(hdr, 1, 2, 3)
+	var req Request
+	err := readMessage(bytes.NewReader(stream), &req)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("got %v, want io.ErrUnexpectedEOF", err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		var r Request
+		_ = readMessage(bytes.NewReader(stream), &r)
+	})
+	// A handful of small allocations (buffer growth to the 3 arrived bytes,
+	// reader state) is fine; a 64 MiB up-front slice would show up as an
+	// enormous per-run byte count and is separately covered by the fact
+	// that bytes.Buffer only grows with actual input.
+	if allocs > 20 {
+		t.Fatalf("truncated read allocates too much: %.0f allocs/run", allocs)
+	}
+}
+
+// TestReadMessageOversizedClaim pins the size ceiling: a frame claiming
+// more than maxMessageSize is rejected before any body read.
+func TestReadMessageOversizedClaim(t *testing.T) {
+	hdr := make([]byte, 4)
+	binary.BigEndian.PutUint32(hdr, maxMessageSize+1)
+	var req Request
+	if err := readMessage(bytes.NewReader(hdr), &req); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+}

@@ -128,7 +128,10 @@ func writeMessage(w io.Writer, v any) error {
 	return err
 }
 
-// readMessage reads one length-prefixed gob message into v.
+// readMessage reads one length-prefixed gob message into v. The body is
+// accumulated with io.CopyN rather than allocated up front, so a frame
+// header claiming a huge length on a short (or malicious) stream costs only
+// the bytes that actually arrive, never a maxMessageSize allocation.
 func readMessage(r io.Reader, v any) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -138,9 +141,13 @@ func readMessage(r io.Reader, v any) error {
 	if n > maxMessageSize {
 		return ErrTooLarge
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	var buf bytes.Buffer
+	copied, err := io.CopyN(&buf, r, int64(n))
+	if err != nil {
+		if err == io.EOF && copied < int64(n) {
+			return io.ErrUnexpectedEOF
+		}
 		return err
 	}
-	return gob.NewDecoder(bytes.NewReader(buf)).Decode(v)
+	return gob.NewDecoder(&buf).Decode(v)
 }

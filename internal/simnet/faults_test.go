@@ -1,0 +1,227 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"icistrategy/internal/blockcrypto"
+)
+
+func TestFaultDropRate(t *testing.T) {
+	net, got := collectNet(t, 2, ConstantLatency(time.Millisecond))
+	net.EnableFaults(7, FaultConfig{DropRate: 0.5})
+	const sends = 1000
+	for i := 0; i < sends; i++ {
+		if err := net.Send(Message{From: 0, To: 1, Kind: "ping", Size: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.RunUntilIdle()
+	stats := net.FaultStats()
+	if stats.Dropped == 0 {
+		t.Fatal("no messages dropped at 50% drop rate")
+	}
+	if int(stats.Dropped)+len(*got) != sends {
+		t.Fatalf("dropped %d + delivered %d != sent %d", stats.Dropped, len(*got), sends)
+	}
+	// Roughly half should survive (binomial with p=0.5, n=1000).
+	if len(*got) < 400 || len(*got) > 600 {
+		t.Fatalf("delivered %d of %d at 50%% drop", len(*got), sends)
+	}
+	// Sender accounting is untouched by loss: the uplink was paid.
+	tr, _ := net.Traffic(0)
+	if tr.MsgsSent != sends {
+		t.Fatalf("MsgsSent = %d, want %d", tr.MsgsSent, sends)
+	}
+}
+
+func TestFaultDuplication(t *testing.T) {
+	net, got := collectNet(t, 2, ConstantLatency(time.Millisecond))
+	net.EnableFaults(3, FaultConfig{DupRate: 1})
+	if err := net.Send(Message{From: 0, To: 1, Kind: "ping", Size: 10}); err != nil {
+		t.Fatal(err)
+	}
+	net.RunUntilIdle()
+	if len(*got) != 2 {
+		t.Fatalf("delivered %d copies, want 2", len(*got))
+	}
+	if net.FaultStats().Duplicated != 1 {
+		t.Fatalf("Duplicated = %d, want 1", net.FaultStats().Duplicated)
+	}
+	// The receiver pays for both copies; the sender only for one.
+	recv, _ := net.Traffic(1)
+	if recv.MsgsRecv != 2 || recv.BytesRecv != 20 {
+		t.Fatalf("receiver traffic = %+v", recv)
+	}
+	sent, _ := net.Traffic(0)
+	if sent.MsgsSent != 1 {
+		t.Fatalf("sender MsgsSent = %d, want 1", sent.MsgsSent)
+	}
+}
+
+func TestFaultReorderingOvertakes(t *testing.T) {
+	net, got := collectNet(t, 2, ConstantLatency(time.Millisecond))
+	net.EnableFaults(11, FaultConfig{ReorderRate: 1, ReorderDelay: 80 * time.Millisecond})
+	const sends = 40
+	for i := 0; i < sends; i++ {
+		if err := net.Send(Message{From: 0, To: 1, Kind: "seq", Size: i + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.RunUntilIdle()
+	if len(*got) != sends {
+		t.Fatalf("delivered %d, want %d", len(*got), sends)
+	}
+	inverted := 0
+	for i := 1; i < len(*got); i++ {
+		if (*got)[i].Size < (*got)[i-1].Size {
+			inverted++
+		}
+	}
+	if inverted == 0 {
+		t.Fatal("no reordering observed with ReorderRate=1")
+	}
+}
+
+func TestFaultCorruption(t *testing.T) {
+	net, got := collectNet(t, 2, ConstantLatency(0))
+	net.EnableFaults(5, FaultConfig{
+		CorruptRate: 1,
+		Corrupt: func(msg Message, _ *blockcrypto.RNG) (any, bool) {
+			if msg.Kind != "data" {
+				return nil, false
+			}
+			return "corrupted", true
+		},
+	})
+	_ = net.Send(Message{From: 0, To: 1, Kind: "data", Size: 10, Payload: "clean"})
+	_ = net.Send(Message{From: 0, To: 1, Kind: "ctrl", Size: 10, Payload: "clean"})
+	net.RunUntilIdle()
+	if len(*got) != 2 {
+		t.Fatalf("delivered %d, want 2", len(*got))
+	}
+	for _, m := range *got {
+		want := "corrupted"
+		if m.Kind == "ctrl" {
+			want = "clean" // CorruptFunc declined this kind
+		}
+		if m.Payload != want {
+			t.Fatalf("kind %s payload = %v, want %s", m.Kind, m.Payload, want)
+		}
+	}
+	if net.FaultStats().Corrupted != 1 {
+		t.Fatalf("Corrupted = %d, want 1", net.FaultStats().Corrupted)
+	}
+}
+
+func TestPerLinkFaultsOverrideGlobal(t *testing.T) {
+	net, got := collectNet(t, 3, ConstantLatency(0))
+	net.EnableFaults(9, FaultConfig{}) // no global injection
+	if err := net.SetLinkFaults(0, 1, FaultConfig{DropRate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_ = net.Send(Message{From: 0, To: 1, Kind: "a", Size: 1})
+	_ = net.Send(Message{From: 0, To: 2, Kind: "b", Size: 1})
+	_ = net.Send(Message{From: 1, To: 0, Kind: "c", Size: 1}) // reverse direction unaffected
+	net.RunUntilIdle()
+	if len(*got) != 2 {
+		t.Fatalf("delivered %d, want 2 (only 0->1 black-holed)", len(*got))
+	}
+	for _, m := range *got {
+		if m.Kind == "a" {
+			t.Fatal("message on the black-holed link was delivered")
+		}
+	}
+}
+
+func TestSetLinkFaultsRequiresEnable(t *testing.T) {
+	net, _ := collectNet(t, 2, ConstantLatency(0))
+	if err := net.SetLinkFaults(0, 1, FaultConfig{DropRate: 1}); err == nil {
+		t.Fatal("SetLinkFaults accepted before EnableFaults")
+	}
+}
+
+func TestScheduleCrashAndRestart(t *testing.T) {
+	net, got := collectNet(t, 2, ConstantLatency(time.Millisecond))
+	if err := net.ScheduleCrash(1, 10*time.Millisecond, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.ScheduleCrash(9, 0, 0); err == nil {
+		t.Fatal("crash schedule for unknown node accepted")
+	}
+	send := func(after time.Duration, size int) {
+		net.After(after, func() {
+			_ = net.Send(Message{From: 0, To: 1, Kind: "ping", Size: size})
+		})
+	}
+	send(5*time.Millisecond, 1)  // before the crash: delivered
+	send(15*time.Millisecond, 2) // while down: dropped
+	send(40*time.Millisecond, 3) // after restart: delivered
+	net.RunUntilIdle()
+	if len(*got) != 2 {
+		t.Fatalf("delivered %d, want 2", len(*got))
+	}
+	if (*got)[0].Size != 1 || (*got)[1].Size != 3 {
+		t.Fatalf("unexpected deliveries %v", *got)
+	}
+	if net.DroppedCount() != 1 {
+		t.Fatalf("DroppedCount = %d, want 1", net.DroppedCount())
+	}
+}
+
+func TestScheduleCrashPermanent(t *testing.T) {
+	net, _ := collectNet(t, 2, ConstantLatency(0))
+	if err := net.ScheduleCrash(1, time.Millisecond, 0); err != nil {
+		t.Fatal(err)
+	}
+	net.RunUntilIdle()
+	if !net.IsDown(1) {
+		t.Fatal("node restarted despite downFor=0")
+	}
+}
+
+// TestChaosTraceDeterminism is the simulator-level half of the determinism
+// guarantee: the same seed, fault config and send schedule produce a
+// byte-identical event trace even with every fault class enabled.
+func TestChaosTraceDeterminism(t *testing.T) {
+	run := func() (string, TrafficStats, FaultStats) {
+		net := New(ConstantLatency(time.Millisecond))
+		for i := 0; i < 4; i++ {
+			id := NodeID(i)
+			if err := net.AddNode(id, HandlerFunc(func(n *Network, m Message) {
+				// Each delivery fans out one more hop while size lasts,
+				// so faults reshape downstream traffic too.
+				if m.Size > 1 {
+					_ = n.Send(Message{From: m.To, To: (m.To + 1) % 4, Kind: m.Kind, Size: m.Size - 1})
+				}
+			}), Coord{X: float64(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		net.EnableTrace()
+		net.EnableFaults(42, FaultConfig{
+			DropRate: 0.1, DupRate: 0.1, ReorderRate: 0.3,
+			ReorderDelay: 10 * time.Millisecond,
+		})
+		_ = net.ScheduleCrash(2, 5*time.Millisecond, 5*time.Millisecond)
+		for i := 0; i < 50; i++ {
+			_ = net.Send(Message{From: 0, To: NodeID(1 + i%3), Kind: "chain", Size: 8})
+		}
+		net.RunUntilIdle()
+		return net.TraceString(), net.TotalTraffic(), net.FaultStats()
+	}
+	tr1, tt1, fs1 := run()
+	tr2, tt2, fs2 := run()
+	if tr1 != tr2 {
+		t.Fatal("identical seeds produced different traces")
+	}
+	if tt1 != tt2 {
+		t.Fatalf("traffic diverged: %+v vs %+v", tt1, tt2)
+	}
+	if fs1 != fs2 {
+		t.Fatalf("fault stats diverged: %+v vs %+v", fs1, fs2)
+	}
+	if tr1 == "" {
+		t.Fatal("empty trace")
+	}
+}

@@ -119,6 +119,12 @@ type Network struct {
 	// partition, when non-nil, maps nodes to partition groups; messages
 	// between different groups are dropped at delivery time.
 	partition map[NodeID]int
+	// faults, when non-nil, injects message loss, duplication, reordering
+	// and corruption (see faults.go).
+	faults *faultState
+	// tracing/trace record the event trace when EnableTrace was called.
+	tracing bool
+	trace   []TraceEvent
 }
 
 // Partition splits the network: each slice of ids becomes one group, and
@@ -243,6 +249,8 @@ func (n *Network) Send(msg Message) error {
 	ks.Messages++
 	ks.Bytes += int64(msg.Size)
 
+	n.traceMsg("send", msg)
+
 	delay := n.latency.Latency(src.coord, dst.coord, msg.Size)
 	if delay < 0 {
 		delay = 0
@@ -256,18 +264,33 @@ func (n *Network) Send(msg Message) error {
 		depart += txTime
 		src.busyUntil = depart
 	}
-	n.schedule(depart+delay, func() {
-		st := n.nodes[msg.To]
-		if st == nil || st.down || st.handler == nil || !n.reachable(msg.From, msg.To) {
-			n.dropped++
-			return
-		}
-		st.traffic.BytesRecv += int64(msg.Size)
-		st.traffic.MsgsRecv++
-		n.delivered++
-		st.handler.HandleMessage(n, msg)
-	})
+	// Chaos layer: the sender has paid its uplink by now; whatever the
+	// fault model does happens on the wire.
+	msg, extra, dup, dupExtra, dropped := n.applyFaults(msg)
+	if dropped {
+		return nil
+	}
+	n.schedule(depart+delay+extra, func() { n.deliver(msg) })
+	if dup {
+		n.schedule(depart+delay+dupExtra, func() { n.deliver(msg) })
+	}
 	return nil
+}
+
+// deliver lands one message on its receiver (the second half of Send,
+// shared with fault-injected duplicate copies).
+func (n *Network) deliver(msg Message) {
+	st := n.nodes[msg.To]
+	if st == nil || st.down || st.handler == nil || !n.reachable(msg.From, msg.To) {
+		n.dropped++
+		n.traceMsg("drop", msg)
+		return
+	}
+	st.traffic.BytesRecv += int64(msg.Size)
+	st.traffic.MsgsRecv++
+	n.delivered++
+	n.traceMsg("recv", msg)
+	st.handler.HandleMessage(n, msg)
 }
 
 // After schedules fn to run after d of virtual time.
@@ -374,4 +397,7 @@ func (n *Network) ResetTraffic() {
 	n.kindStats = make(map[string]*KindStats)
 	n.delivered = 0
 	n.dropped = 0
+	if n.faults != nil {
+		n.faults.stats = FaultStats{}
+	}
 }
