@@ -5,13 +5,21 @@
 // Usage:
 //
 //	icibench [-quick] [-run E3,E4] [-csv results/] [-seed 42]
+//
+// The -erasurebench FILE mode skips the experiment suite and instead writes
+// a JSON snapshot of the erasure hot-path throughput (encode MB/s for the
+// kernel and scalar paths, the speedup, reconstruction MB/s, allocation
+// counts). -minspeedup N makes it exit nonzero when the kernel/scalar
+// encode speedup falls below N — the CI regression gate.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -31,6 +39,8 @@ func run(args []string) error {
 	only := fs.String("run", "", "comma-separated experiment IDs to run (default all), e.g. E1,E3")
 	csvDir := fs.String("csv", "", "directory to write per-experiment CSV files into")
 	seed := fs.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
+	erasureBench := fs.String("erasurebench", "", "write an erasure hot-path throughput snapshot to this JSON file and exit")
+	minSpeedup := fs.Float64("minspeedup", 0, "with -erasurebench: fail unless kernel/scalar encode speedup reaches this factor")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,6 +51,10 @@ func run(args []string) error {
 	}
 	if *seed != 0 {
 		params.Seed = *seed
+	}
+
+	if *erasureBench != "" {
+		return runErasureBench(*erasureBench, params, *quick, *minSpeedup)
 	}
 
 	var selected []experiments.Experiment
@@ -77,6 +91,66 @@ func run(args []string) error {
 				return fmt.Errorf("write %s: %w", path, err)
 			}
 		}
+	}
+	return nil
+}
+
+// erasureBenchReport is the schema of BENCH_PR2.json: one measurement per
+// code shape at the configured block size, plus enough environment to read
+// the numbers in context.
+type erasureBenchReport struct {
+	GeneratedAt string                     `json:"generated_at"`
+	GoVersion   string                     `json:"go_version"`
+	GOARCH      string                     `json:"goarch"`
+	NumCPU      int                        `json:"num_cpu"`
+	Quick       bool                       `json:"quick"`
+	Seed        uint64                     `json:"seed"`
+	Results     []experiments.CodingResult `json:"results"`
+}
+
+// runErasureBench measures the erasure hot path, writes the JSON snapshot,
+// prints a summary, and enforces the -minspeedup gate against the headline
+// (first) shape.
+func runErasureBench(path string, params experiments.Params, quick bool, minSpeedup float64) error {
+	window := 500 * time.Millisecond
+	if quick {
+		window = 50 * time.Millisecond
+	}
+	report := erasureBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Quick:       quick,
+		Seed:        params.Seed,
+	}
+	for _, shape := range experiments.CodingShapes(params) {
+		start := time.Now()
+		r, err := experiments.RunCodingBench(shape, int(params.BlockBody), params.Seed, window)
+		if err != nil {
+			return fmt.Errorf("erasure bench RS(%d,%d): %w", shape.K, shape.M, err)
+		}
+		report.Results = append(report.Results, r)
+		fmt.Printf("RS(%d,%d) @ %d B payload: encode %.0f MB/s (scalar %.0f, %.1fx), reconstruct %.0f MB/s (cold %.0f) [%v]\n",
+			shape.K, shape.M, r.PayloadBytes, r.EncodeMBps, r.EncodeScalarMBps, r.EncodeSpeedup,
+			r.ReconstructMBps, r.ReconstructColdMBps, time.Since(start).Round(time.Millisecond))
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	if minSpeedup > 0 {
+		headline := report.Results[0]
+		if headline.EncodeSpeedup < minSpeedup {
+			return fmt.Errorf("encode speedup %.2fx below required %.2fx (RS(%d,%d), kernel %.0f MB/s vs scalar %.0f MB/s)",
+				headline.EncodeSpeedup, minSpeedup, headline.K, headline.M,
+				headline.EncodeMBps, headline.EncodeScalarMBps)
+		}
+		fmt.Printf("speedup gate passed: %.2fx >= %.2fx\n", headline.EncodeSpeedup, minSpeedup)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -35,5 +36,45 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunSeedOverride(t *testing.T) {
 	if err := run([]string{"-quick", "-run", "E8", "-seed", "7"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestErasureBenchWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-quick", "-erasurebench", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report erasureBenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(report.Results) == 0 {
+		t.Fatal("report holds no results")
+	}
+	head := report.Results[0]
+	if head.K != 16 || head.M != 4 {
+		t.Fatalf("headline shape = RS(%d,%d), want RS(16,4)", head.K, head.M)
+	}
+	if head.EncodeMBps <= 0 || head.EncodeScalarMBps <= 0 || head.ReconstructMBps <= 0 {
+		t.Fatalf("non-positive throughput in %+v", head)
+	}
+	if head.EncodeSpeedup <= 0 {
+		t.Fatalf("speedup not computed: %+v", head)
+	}
+}
+
+// TestErasureBenchSpeedupGate exercises both sides of -minspeedup: an
+// impossible threshold must fail, a trivial one must pass.
+func TestErasureBenchSpeedupGate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-quick", "-erasurebench", path, "-minspeedup", "1e9"}); err == nil {
+		t.Fatal("impossible speedup gate passed")
+	}
+	if err := run([]string{"-quick", "-erasurebench", path, "-minspeedup", "0.0001"}); err != nil {
+		t.Fatalf("trivial speedup gate failed: %v", err)
 	}
 }

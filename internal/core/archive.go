@@ -112,7 +112,7 @@ func (n *Node) archive(net *simnet.Network, block blockcrypto.Hash, info archive
 			cb(fmt.Errorf("archive %s: %w", block.Short(), err))
 			return
 		}
-		code, err := erasure.New(info.k, info.total-info.k)
+		code, err := erasure.Cached(info.k, info.total-info.k)
 		if err != nil {
 			cb(err)
 			return
@@ -228,11 +228,14 @@ func (n *Node) RetrieveArchivedBlock(net *simnet.Network, block blockcrypto.Hash
 }
 
 // tryFinishCodedRetrieve reconstructs once k distinct shares are present.
+// The codec comes from the shared registry: this runs on every share
+// arrival, and re-deriving the systematic matrix per response used to
+// dominate the coded read path.
 func (n *Node) tryFinishCodedRetrieve(req uint64, st *fetchState) bool {
 	if st.onBlock == nil || len(st.chunks) < st.codedK {
 		return false
 	}
-	code, err := erasure.New(st.codedK, st.parts-st.codedK)
+	code, err := erasure.Cached(st.codedK, st.parts-st.codedK)
 	if err != nil {
 		n.failFetch(req, st, err)
 		return true

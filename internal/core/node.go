@@ -95,21 +95,21 @@ type fetchState struct {
 
 	// Broadcast fetches (full-block retrieval) re-ask the whole cluster on
 	// timeout, with doubled timeout, up to maxFetchAttempts rounds.
-	waiting   int                     // outstanding responses this round
-	responded map[simnet.NodeID]bool  // members that answered this round
-	attempts  int                     // rounds issued so far
-	timeout   time.Duration           // current round's timeout
+	waiting   int                    // outstanding responses this round
+	responded map[simnet.NodeID]bool // members that answered this round
+	attempts  int                    // rounds issued so far
+	timeout   time.Duration          // current round's timeout
 
 	// Single-chunk fetches walk a source ring: the next rendezvous replica
 	// on a miss or timeout, wrapping for one extra pass after timeouts.
-	sources     []simnet.NodeID
-	srcPos      int
-	passes      int
-	timedOut    bool // a source timed out during the current pass
-	idx         int  // chunk index for single-chunk fetches
-	done        bool
-	onBlock     func(*chain.Block, error)
-	onChunk     func(error)
+	sources  []simnet.NodeID
+	srcPos   int
+	passes   int
+	timedOut bool // a source timed out during the current pass
+	idx      int  // chunk index for single-chunk fetches
+	done     bool
+	onBlock  func(*chain.Block, error)
+	onChunk  func(error)
 }
 
 // Node is one ICIStrategy participant. Nodes are driven entirely by the
@@ -151,19 +151,19 @@ type Node struct {
 // newNode wires a node; System owns construction.
 func newNode(id simnet.NodeID, ci *clusterInfo, key blockcrypto.KeyPair, replication int, registry func(simnet.NodeID) []byte) *Node {
 	return &Node{
-		id:          id,
-		cluster:     ci,
-		key:         key,
-		registry:    registry,
-		store:       storage.NewStore(),
-		meta:        make(map[storage.ChunkID]chunkMeta),
-		replication: replication,
-		leading:     make(map[blockcrypto.Hash]*leaderState),
-		pending:     make(map[blockcrypto.Hash][]chunkPayload),
+		id:            id,
+		cluster:       ci,
+		key:           key,
+		registry:      registry,
+		store:         storage.NewStore(),
+		meta:          make(map[storage.ChunkID]chunkMeta),
+		replication:   replication,
+		leading:       make(map[blockcrypto.Hash]*leaderState),
+		pending:       make(map[blockcrypto.Hash][]chunkPayload),
 		pendingLeader: make(map[blockcrypto.Hash]simnet.NodeID),
-		commits:     make(map[blockcrypto.Hash]commitMsg),
-		fetches:     make(map[uint64]*fetchState),
-		txQueries:   make(map[uint64]*txQueryState),
+		commits:       make(map[blockcrypto.Hash]commitMsg),
+		fetches:       make(map[uint64]*fetchState),
+		txQueries:     make(map[uint64]*txQueryState),
 	}
 }
 

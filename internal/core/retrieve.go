@@ -457,12 +457,22 @@ func (n *Node) RepairOwnership(net *simnet.Network, cb func(lost int)) {
 		block := h.Hash()
 		parts := n.cluster.partsAt(h.Height)
 		seed := block.Uint64()
+		// The store's per-block index answers "which chunks of this block do
+		// I hold" in one lookup; a block whose every part is already local
+		// skips the per-index rendezvous ranking below entirely.
+		held := make(map[int]bool, parts)
+		for _, idx := range n.store.ChunksForBlock(block) {
+			held[idx] = true
+		}
+		if len(held) == parts {
+			continue
+		}
 		for idx := 0; idx < parts; idx++ {
-			owners, err := Owners(seed, n.cluster.members, idx, n.replication)
-			if err != nil || !memberOf(owners, n.id) {
+			if held[idx] {
 				continue
 			}
-			if n.store.HasChunk(storage.ChunkID{Block: block, Index: idx}) {
+			owners, err := Owners(seed, n.cluster.members, idx, n.replication)
+			if err != nil || !memberOf(owners, n.id) {
 				continue
 			}
 			srcs := without(owners, n.id)

@@ -1,0 +1,82 @@
+package erasure
+
+// LRU cache of inverted decode matrices.
+//
+// Reconstructing with data shards missing requires inverting the k×k
+// submatrix of the encode matrix formed by the first k present rows — an
+// O(k³) Gaussian elimination. Loss patterns repeat heavily in practice (a
+// crashed cluster member erases the same shard indices for every block it
+// held), so Code keeps a small LRU keyed by the present-row set and skips
+// elimination on a hit. Entries are immutable once inserted; the cache is
+// mutex-guarded so a registry-shared Code is safe under concurrent
+// Reconstruct calls.
+
+import (
+	"container/list"
+	"sync"
+)
+
+// decodeCacheCap bounds the per-Code cache. Shard indices fit a byte, so a
+// key is k bytes and an entry k² bytes: even at k=255 the cache stays far
+// below a megabyte.
+const decodeCacheCap = 32
+
+type decodeCacheEntry struct {
+	key string
+	inv *matrix
+}
+
+type decodeCache struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element // key -> element holding *decodeCacheEntry
+	order   list.List                // front = most recently used
+}
+
+// decodeKey packs the present-row indices (each < 256) into a map key.
+func decodeKey(rows []int) string {
+	b := make([]byte, len(rows))
+	for i, r := range rows {
+		b[i] = byte(r)
+	}
+	return string(b)
+}
+
+// get returns the cached inverse for the row set, or nil.
+func (c *decodeCache) get(key string) *matrix {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*decodeCacheEntry).inv
+}
+
+// put inserts an inverse, evicting the least recently used entry at
+// capacity. Racing inserts of the same key keep the first entry (both are
+// identical inverses of the same submatrix).
+func (c *decodeCache) put(key string, inv *matrix) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[string]*list.Element, decodeCacheCap)
+	}
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&decodeCacheEntry{key: key, inv: inv})
+	if c.order.Len() > decodeCacheCap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*decodeCacheEntry).key)
+	}
+}
+
+// len reports the number of cached inverses (test hook).
+func (c *decodeCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

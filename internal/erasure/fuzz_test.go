@@ -28,6 +28,18 @@ func FuzzRSReconstruct(f *testing.F) {
 		if len(shards) != k+m {
 			t.Fatalf("Split returned %d shards, want %d", len(shards), k+m)
 		}
+		// Differential check: the table-driven kernel parity produced by
+		// Split must be byte-identical to the scalar reference path.
+		ref := make([][]byte, len(shards))
+		copy(ref, shards[:k])
+		if err := code.EncodeScalarReference(ref); err != nil {
+			t.Fatalf("EncodeScalarReference: %v", err)
+		}
+		for i := k; i < len(shards); i++ {
+			if !bytes.Equal(shards[i], ref[i]) {
+				t.Fatalf("kernel parity shard %d diverges from scalar path", i)
+			}
+		}
 		// Drop up to m shards, chosen by the fuzzed mask.
 		dropped := 0
 		for i := 0; i < len(shards) && dropped < m; i++ {

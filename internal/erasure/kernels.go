@@ -1,0 +1,170 @@
+package erasure
+
+// Table-driven slice kernels: the hot path of encoding and reconstruction.
+//
+// The scalar path in gf256.go multiplies one byte at a time through the
+// log/exp tables (two dependent lookups plus a zero branch per byte). The
+// kernels below instead use one 256-byte product table per coefficient —
+// product[v] = c·v over GF(2^8) — so the inner loop is a single dependent
+// lookup with no branches and no bounds checks, and eight product bytes are
+// packed into one 64-bit XOR against the output. Coefficient 1 degenerates
+// to a pure word-wise XOR and coefficient 0 to a no-op.
+//
+// On amd64 with AVX2 the bulk of each slice is instead processed 32 bytes
+// per instruction with the classic PSHUFB nibble scheme (see
+// kernels_amd64.s); each table carries the two 16-entry nibble tables that
+// scheme needs. The Go loops below remain both the portable fallback and
+// the tail handler for lengths not divisible by the vector width.
+//
+// Tables are built lazily, one coefficient at a time, on first use by any
+// Code (GF multiplication does not depend on the code, so the cache is
+// shared process-wide). A slot is published with an atomic pointer: a
+// racing duplicate build produces an identical table, so last-write-wins is
+// harmless and the fast path stays lock-free.
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+)
+
+// mulTable holds every precomputed form of multiplication by one
+// coefficient c: the full byte-product table, plus the low/high nibble
+// tables the SIMD kernel shuffles through (c·x and c·(x<<4) for x < 16;
+// their XOR reassembles c·v for any byte v).
+type mulTable struct {
+	product [256]byte
+	low     [16]byte
+	high    [16]byte
+}
+
+// mulTables caches the per-coefficient tables. Slot c holds the table set
+// for coefficient c, or nil until first use. ~72 KiB fully populated; a
+// (k=16, m=4) code touches at most k·m slots.
+var mulTables [256]atomic.Pointer[mulTable]
+
+// mulTableFor returns the table set for coefficient c, building and
+// publishing it on first use.
+func mulTableFor(c byte) *mulTable {
+	if t := mulTables[c].Load(); t != nil {
+		return t
+	}
+	t := new(mulTable)
+	for v := 1; v < 256; v++ {
+		t.product[v] = gfMul(c, byte(v))
+	}
+	for x := 0; x < 16; x++ {
+		t.low[x] = t.product[x]
+		t.high[x] = t.product[x<<4]
+	}
+	mulTables[c].Store(t)
+	return t
+}
+
+// mulSlice computes out[i] = c·in[i] slice-wise. len(out) must be >=
+// len(in); only the first len(in) bytes of out are written.
+func mulSlice(c byte, in, out []byte) {
+	switch c {
+	case 0:
+		clear(out[:len(in)])
+		return
+	case 1:
+		copy(out, in)
+		return
+	}
+	t := mulTableFor(c)
+	n := 0
+	if simdEnabled && len(in) >= simdMinBytes {
+		n = len(in) &^ (simdWidth - 1)
+		mulVec(t, in[:n], out[:n])
+	}
+	in, out = in[n:], out[n:len(in)]
+	for i, v := range in {
+		out[i] = t.product[v]
+	}
+}
+
+// mulAddSlice computes out[i] ^= c·in[i] slice-wise, packing eight product
+// bytes per 64-bit XOR on the portable path. len(out) must be >= len(in).
+func mulAddSlice(c byte, in, out []byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		xorSlice(in, out)
+		return
+	}
+	t := mulTableFor(c)
+	n := 0
+	if simdEnabled && len(in) >= simdMinBytes {
+		n = len(in) &^ (simdWidth - 1)
+		mulAddVec(t, in[:n], out[:n])
+	}
+	mulAddTail(t, in[n:], out[n:len(in)])
+}
+
+// mulAddTail is the portable word-packed loop behind mulAddSlice: eight
+// table lookups assembled into one 64-bit XOR, with a byte loop for the
+// final partial word.
+func mulAddTail(t *mulTable, in, out []byte) {
+	out = out[:len(in)]
+	for len(in) >= 8 {
+		v := uint64(t.product[in[0]]) | uint64(t.product[in[1]])<<8 |
+			uint64(t.product[in[2]])<<16 | uint64(t.product[in[3]])<<24 |
+			uint64(t.product[in[4]])<<32 | uint64(t.product[in[5]])<<40 |
+			uint64(t.product[in[6]])<<48 | uint64(t.product[in[7]])<<56
+		binary.LittleEndian.PutUint64(out, binary.LittleEndian.Uint64(out)^v)
+		in, out = in[8:], out[8:]
+	}
+	for i, v := range in {
+		out[i] ^= t.product[v]
+	}
+}
+
+// xorSlice computes out[i] ^= in[i], eight bytes (or a vector register) per
+// iteration. This is the coefficient-1 fast path: in GF(2^8) multiplication
+// by 1 is the identity, so the row contribution is a plain XOR.
+func xorSlice(in, out []byte) {
+	n := 0
+	if simdEnabled && len(in) >= simdMinBytes {
+		n = len(in) &^ (simdWidth - 1)
+		xorVec(in[:n], out[:n])
+	}
+	in, out = in[n:], out[n:len(in)]
+	for len(in) >= 8 {
+		binary.LittleEndian.PutUint64(out,
+			binary.LittleEndian.Uint64(out)^binary.LittleEndian.Uint64(in))
+		in, out = in[8:], out[8:]
+	}
+	for i, v := range in {
+		out[i] ^= v
+	}
+}
+
+// codeRow computes one output shard as the coefficient-weighted sum of the
+// input shards: out = Σ_j coeffs[j]·inputs[j]. The first non-zero
+// coefficient overwrites out (saving the clear-then-XOR pass of the scalar
+// path); an all-zero row clears it.
+func codeRow(coeffs []byte, inputs [][]byte, out []byte) {
+	codeRowRange(coeffs, inputs, out, 0, len(out))
+}
+
+// codeRowRange is codeRow restricted to the byte range [lo, hi) of every
+// shard — the unit of work the parallel pool hands to one worker.
+func codeRowRange(coeffs []byte, inputs [][]byte, out []byte, lo, hi int) {
+	first := true
+	for j, in := range inputs {
+		c := coeffs[j]
+		if c == 0 {
+			continue
+		}
+		if first {
+			mulSlice(c, in[lo:hi], out[lo:hi])
+			first = false
+			continue
+		}
+		mulAddSlice(c, in[lo:hi], out[lo:hi])
+	}
+	if first {
+		clear(out[lo:hi])
+	}
+}

@@ -1,0 +1,77 @@
+//go:build amd64
+
+package erasure
+
+// AVX2 dispatch for the slice kernels. The assembly in kernels_amd64.s
+// implements the classic PSHUFB nibble scheme: multiplication by a fixed
+// coefficient is looked up 32 bytes at a time through two 16-entry tables
+// (one for each nibble of the input byte) broadcast into vector registers.
+// Detection follows the Intel manual: AVX2 requires the OS to have enabled
+// YMM state (OSXSAVE + XGETBV) on top of the CPUID feature bit.
+
+const (
+	// simdWidth is the vector kernel's block size in bytes; callers round
+	// the bulk length down to a multiple of it.
+	simdWidth = 32
+	// simdMinBytes is the slice length below which the vector call is not
+	// worth its setup (table broadcasts, VZEROUPPER).
+	simdMinBytes = 64
+)
+
+// simdEnabled reports whether the AVX2 kernels are usable on this machine.
+// It is a variable, not a constant, so tests can pin the portable path and
+// differentially compare the two.
+var simdEnabled = detectAVX2()
+
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	if ecx1&osxsave == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be OS-enabled.
+	xcr0, _ := xgetbv()
+	if xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// cpuid executes CPUID with the given leaf/subleaf (implemented in
+// kernels_amd64.s).
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (implemented in
+// kernels_amd64.s).
+func xgetbv() (eax, edx uint32)
+
+//go:noescape
+func mulVecAVX2(low, high *[16]byte, in, out *byte, n int)
+
+//go:noescape
+func mulAddVecAVX2(low, high *[16]byte, in, out *byte, n int)
+
+//go:noescape
+func xorVecAVX2(in, out *byte, n int)
+
+// mulVec computes out = c·in for len(in) a positive multiple of simdWidth.
+func mulVec(t *mulTable, in, out []byte) {
+	mulVecAVX2(&t.low, &t.high, &in[0], &out[0], len(in))
+}
+
+// mulAddVec computes out ^= c·in for len(in) a positive multiple of
+// simdWidth.
+func mulAddVec(t *mulTable, in, out []byte) {
+	mulAddVecAVX2(&t.low, &t.high, &in[0], &out[0], len(in))
+}
+
+// xorVec computes out ^= in for len(in) a positive multiple of simdWidth.
+func xorVec(in, out []byte) {
+	xorVecAVX2(&in[0], &out[0], len(in))
+}

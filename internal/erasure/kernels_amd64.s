@@ -1,0 +1,116 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// GF(2^8) constant-coefficient multiply-accumulate over byte slices, 32
+// bytes per iteration, via the PSHUFB nibble scheme:
+//
+//	c·v = low[v & 0x0f] ^ high[v >> 4]
+//
+// where low[x] = c·x and high[x] = c·(x<<4) (multiplication distributes
+// over the nibble split because GF(2^8) addition is XOR). Both 16-entry
+// tables are broadcast once per call; the loop is then two shuffles, three
+// XORs, and the loads/stores.
+//
+// All entry points require n > 0 and n % 32 == 0 (the Go wrappers round
+// down and handle tails).
+
+DATA nibbleMask<>+0x00(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+0x08(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+0x10(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+0x18(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibbleMask<>(SB), RODATA, $32
+
+// func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL subleaf+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func mulAddVecAVX2(low, high *[16]byte, in, out *byte, n int)
+// out[i] ^= c·in[i]
+TEXT ·mulAddVecAVX2(SB), NOSPLIT, $0-40
+	MOVQ low+0(FP), AX
+	MOVQ high+8(FP), BX
+	MOVQ in+16(FP), SI
+	MOVQ out+24(FP), DI
+	MOVQ n+32(FP), CX
+	VBROADCASTI128 (AX), Y0        // low-nibble product table
+	VBROADCASTI128 (BX), Y1        // high-nibble product table
+	VMOVDQU nibbleMask<>(SB), Y2   // 0x0f bytes
+
+muladd_loop:
+	VMOVDQU (SI), Y3
+	VPSRLW  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3             // low nibbles
+	VPAND   Y2, Y4, Y4             // high nibbles
+	VPSHUFB Y3, Y0, Y5             // low products
+	VPSHUFB Y4, Y1, Y6             // high products
+	VPXOR   Y5, Y6, Y5             // c·in
+	VPXOR   (DI), Y5, Y5           // accumulate into out
+	VMOVDQU Y5, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     muladd_loop
+	VZEROUPPER
+	RET
+
+// func mulVecAVX2(low, high *[16]byte, in, out *byte, n int)
+// out[i] = c·in[i]
+TEXT ·mulVecAVX2(SB), NOSPLIT, $0-40
+	MOVQ low+0(FP), AX
+	MOVQ high+8(FP), BX
+	MOVQ in+16(FP), SI
+	MOVQ out+24(FP), DI
+	MOVQ n+32(FP), CX
+	VBROADCASTI128 (AX), Y0
+	VBROADCASTI128 (BX), Y1
+	VMOVDQU nibbleMask<>(SB), Y2
+
+mul_loop:
+	VMOVDQU (SI), Y3
+	VPSRLW  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y5
+	VPSHUFB Y4, Y1, Y6
+	VPXOR   Y5, Y6, Y5
+	VMOVDQU Y5, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     mul_loop
+	VZEROUPPER
+	RET
+
+// func xorVecAVX2(in, out *byte, n int)
+// out[i] ^= in[i] — the coefficient-1 fast path.
+TEXT ·xorVecAVX2(SB), NOSPLIT, $0-24
+	MOVQ in+0(FP), SI
+	MOVQ out+8(FP), DI
+	MOVQ n+16(FP), CX
+
+xor_loop:
+	VMOVDQU (SI), Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     xor_loop
+	VZEROUPPER
+	RET

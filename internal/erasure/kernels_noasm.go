@@ -1,0 +1,18 @@
+//go:build !amd64
+
+package erasure
+
+// Portable stand-ins for the amd64 vector kernels. simdEnabled is false at
+// compile time on these platforms, so the vector entry points are never
+// reached; the bodies exist only to satisfy the references in kernels.go.
+
+const (
+	simdWidth    = 32
+	simdMinBytes = 64
+)
+
+var simdEnabled = false
+
+func mulVec(t *mulTable, in, out []byte)    { panic("erasure: no vector kernel") }
+func mulAddVec(t *mulTable, in, out []byte) { panic("erasure: no vector kernel") }
+func xorVec(in, out []byte)                 { panic("erasure: no vector kernel") }

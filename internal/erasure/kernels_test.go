@@ -1,0 +1,360 @@
+package erasure
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"icistrategy/internal/blockcrypto"
+)
+
+// mulSliceXorRef is the pre-kernel reference: byte-at-a-time log/exp
+// multiply-accumulate straight off gfMul. Every kernel is pinned to it.
+func mulSliceXorRef(c byte, in, out []byte) {
+	for i, v := range in {
+		out[i] ^= gfMul(c, v)
+	}
+}
+
+// diffSizes is the size matrix every differential test sweeps: empty, one
+// byte, every length around the 8-byte word tail, the 32-byte vector
+// boundary and the 64-byte SIMD cut-over, plus large odd sizes.
+var diffSizes = []int{0, 1, 2, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 95, 127, 128, 255, 1000, 4096, 65537}
+
+func randBytes(rng *blockcrypto.RNG, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return b
+}
+
+// TestMulAddSliceMatchesScalar pins mulAddSlice (vector + word-packed tail)
+// to the scalar reference for every coefficient class and tail length.
+func TestMulAddSliceMatchesScalar(t *testing.T) {
+	rng := blockcrypto.NewRNG(0x5EED)
+	coeffs := []byte{0, 1, 2, 3, 0x1d, 0x80, 0xff}
+	for i := 0; i < 16; i++ {
+		coeffs = append(coeffs, byte(rng.Intn(256)))
+	}
+	for _, size := range diffSizes {
+		in := randBytes(rng, size)
+		base := randBytes(rng, size)
+		for _, c := range coeffs {
+			want := append([]byte(nil), base...)
+			mulSliceXorRef(c, in, want)
+			got := append([]byte(nil), base...)
+			mulAddSlice(c, in, got)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("mulAddSlice(c=%#x, size=%d) diverged from scalar", c, size)
+			}
+			// Overwrite variant: out = c·in.
+			wantMul := make([]byte, size)
+			mulSliceXorRef(c, in, wantMul)
+			gotMul := randBytes(rng, size) // pre-filled garbage must be overwritten
+			mulSlice(c, in, gotMul)
+			if !bytes.Equal(gotMul, wantMul) {
+				t.Fatalf("mulSlice(c=%#x, size=%d) diverged from scalar", c, size)
+			}
+		}
+	}
+}
+
+// TestKernelPortablePathMatchesScalar forces the portable (non-SIMD) path
+// and re-pins it, so the word-packed Go loop is covered even on machines
+// where the vector kernel would otherwise take every bulk slice.
+func TestKernelPortablePathMatchesScalar(t *testing.T) {
+	defer func(old bool) { simdEnabled = old }(simdEnabled)
+	simdEnabled = false
+	rng := blockcrypto.NewRNG(0xB0)
+	for _, size := range diffSizes {
+		in := randBytes(rng, size)
+		for _, c := range []byte{0, 1, 2, 0x53, 0xff} {
+			want := make([]byte, size)
+			mulSliceXorRef(c, in, want)
+			got := make([]byte, size)
+			mulAddSlice(c, in, got)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("portable mulAddSlice(c=%#x, size=%d) diverged", c, size)
+			}
+		}
+	}
+}
+
+// TestEncodeMatchesScalarReference runs the differential test the bench
+// trail relies on: for random (k, m, size) the kernel Encode must produce
+// byte-identical parity to EncodeScalarReference.
+func TestEncodeMatchesScalarReference(t *testing.T) {
+	rng := blockcrypto.NewRNG(0xD1FF)
+	for trial := 0; trial < 60; trial++ {
+		k := rng.Intn(20) + 1
+		m := rng.Intn(8)
+		size := diffSizes[rng.Intn(len(diffSizes))]
+		if size == 0 {
+			size = 1 // zero-size data shards are rejected by both paths
+		}
+		c, err := New(k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([][]byte, k)
+		for i := range data {
+			data[i] = randBytes(rng, size)
+		}
+		fast := make([][]byte, k+m)
+		ref := make([][]byte, k+m)
+		copy(fast, data)
+		copy(ref, data)
+		if err := c.Encode(fast); err != nil {
+			t.Fatalf("Encode(k=%d m=%d size=%d): %v", k, m, size, err)
+		}
+		if err := c.EncodeScalarReference(ref); err != nil {
+			t.Fatalf("EncodeScalarReference: %v", err)
+		}
+		for i := range fast {
+			if !bytes.Equal(fast[i], ref[i]) {
+				t.Fatalf("k=%d m=%d size=%d: shard %d differs between kernel and scalar path", k, m, size, i)
+			}
+		}
+	}
+}
+
+// TestReconstructMatchesEncodeAcrossSizes erases every shard in turn across
+// the tail-boundary sizes and checks bit-exact recovery, exercising the
+// decode cache across repeated loss patterns.
+func TestReconstructMatchesEncodeAcrossSizes(t *testing.T) {
+	const k, m = 5, 3
+	c, err := New(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := blockcrypto.NewRNG(0xCAFE)
+	for _, size := range diffSizes {
+		if size == 0 {
+			continue
+		}
+		shards := make([][]byte, k+m)
+		for i := 0; i < k; i++ {
+			shards[i] = randBytes(rng, size)
+		}
+		if err := c.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		orig := make([][]byte, len(shards))
+		for i := range shards {
+			orig[i] = append([]byte(nil), shards[i]...)
+		}
+		for lost := 0; lost < k+m; lost++ {
+			work := make([][]byte, len(orig))
+			for i := range orig {
+				if i != lost {
+					work[i] = append([]byte(nil), orig[i]...)
+				}
+			}
+			if err := c.Reconstruct(work); err != nil {
+				t.Fatalf("size=%d lost=%d: %v", size, lost, err)
+			}
+			if !bytes.Equal(work[lost], orig[lost]) {
+				t.Fatalf("size=%d lost=%d: recovered shard differs", size, lost)
+			}
+		}
+	}
+}
+
+// TestDecodeMatrixCache checks that repeated loss patterns hit the cache
+// (one entry per pattern), that distinct patterns add entries, and that the
+// cache stays bounded.
+func TestDecodeMatrixCache(t *testing.T) {
+	const k, m = 4, 2
+	c, err := New(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xA5}, 512)
+	orig, err := c.Split(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lose := func(idxs ...int) [][]byte {
+		w := make([][]byte, len(orig))
+		for i := range orig {
+			w[i] = append([]byte(nil), orig[i]...)
+		}
+		for _, i := range idxs {
+			w[i] = nil
+		}
+		return w
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Reconstruct(lose(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.decode.len(); got != 1 {
+		t.Fatalf("after one repeated pattern: %d cache entries, want 1", got)
+	}
+	if err := c.Reconstruct(lose(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.decode.len(); got != 2 {
+		t.Fatalf("after second pattern: %d cache entries, want 2", got)
+	}
+	// Parity-only losses never invert a matrix and must not pollute it.
+	if err := c.Reconstruct(lose(k)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.decode.len(); got != 2 {
+		t.Fatalf("parity-only loss grew the cache to %d", got)
+	}
+}
+
+// TestDecodeCacheEviction fills the LRU past capacity and checks the bound
+// plus continued correctness on evicted patterns.
+func TestDecodeCacheEviction(t *testing.T) {
+	cache := &decodeCache{}
+	for i := 0; i < decodeCacheCap*3; i++ {
+		cache.put(fmt.Sprintf("key-%d", i), identityMatrix(2))
+	}
+	if got := cache.len(); got != decodeCacheCap {
+		t.Fatalf("cache holds %d entries, cap is %d", got, decodeCacheCap)
+	}
+	if cache.get("key-0") != nil {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if cache.get(fmt.Sprintf("key-%d", decodeCacheCap*3-1)) == nil {
+		t.Fatal("newest entry missing")
+	}
+}
+
+// TestReconstructReportsWrongLengthShards pins the bugfix: a non-empty
+// shard whose length disagrees with the others must be reported, never
+// silently resized or clobbered.
+func TestReconstructReportsWrongLengthShards(t *testing.T) {
+	c, err := New(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := c.Split(bytes.Repeat([]byte{7}, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong-length parity shard alongside complete data.
+	work := make([][]byte, len(orig))
+	copy(work, orig)
+	bad := []byte{1, 2, 3}
+	work[4] = bad
+	if err := c.Reconstruct(work); err == nil {
+		t.Fatal("wrong-length parity shard accepted")
+	}
+	if len(work[4]) != 3 || &work[4][0] != &bad[0] {
+		t.Fatal("caller's parity slice was clobbered while reporting the error")
+	}
+	// Wrong-length data shard.
+	work = make([][]byte, len(orig))
+	copy(work, orig)
+	work[1] = []byte{9}
+	if err := c.Reconstruct(work); err == nil {
+		t.Fatal("wrong-length data shard accepted")
+	}
+	// Zero-length shard with capacity is treated as missing and its backing
+	// array reused.
+	work = make([][]byte, len(orig))
+	copy(work, orig)
+	buf := make([]byte, 0, len(orig[0]))
+	work[0] = buf
+	if err := c.Reconstruct(work); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(work[0], orig[0]) {
+		t.Fatal("reconstruction into reused buffer is wrong")
+	}
+	if &work[0][0] != &buf[:1][0] {
+		t.Fatal("capacity-bearing empty shard was not reused")
+	}
+}
+
+// TestCachedRegistry checks that the codec registry hands out one shared
+// instance per shape and propagates validation errors.
+func TestCachedRegistry(t *testing.T) {
+	a, err := Cached(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cached(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Cached returned distinct codecs for the same shape")
+	}
+	other, err := Cached(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == a {
+		t.Fatal("Cached shared a codec across different shapes")
+	}
+	if _, err := Cached(0, 1); err == nil {
+		t.Fatal("Cached accepted an invalid shape")
+	}
+}
+
+// TestParallelEncodeSharedCode drives one registry-shared Code from many
+// goroutines with shards big enough to engage the worker pool, under the
+// race detector in CI. Results must be byte-identical to a sequential
+// encode.
+func TestParallelEncodeSharedCode(t *testing.T) {
+	const k, m = 8, 3
+	c, err := Cached(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := parallelMinShardBytes + 13 // over the threshold, odd tail
+	rng := blockcrypto.NewRNG(0xBEEF)
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = randBytes(rng, size)
+	}
+	want := make([][]byte, k+m)
+	copy(want, data)
+	if err := c.EncodeScalarReference(want); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			shards := make([][]byte, k+m)
+			copy(shards, data)
+			if err := c.Encode(shards); err != nil {
+				errs <- err
+				return
+			}
+			for i := range shards {
+				if !bytes.Equal(shards[i], want[i]) {
+					errs <- fmt.Errorf("shard %d diverged under concurrency", i)
+					return
+				}
+			}
+			// Concurrent reconstructions share the decode cache.
+			lossy := make([][]byte, k+m)
+			copy(lossy, shards)
+			lossy[0], lossy[k] = nil, nil
+			if err := c.Reconstruct(lossy); err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(lossy[0], data[0]) {
+				errs <- fmt.Errorf("concurrent reconstruct diverged")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

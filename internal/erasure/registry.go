@@ -1,0 +1,32 @@
+package erasure
+
+// Codec registry: one shared *Code per (k, m).
+//
+// Building a Code derives the systematic Vandermonde matrix — an O(k³)
+// inversion plus an O(n·k²) multiply. Callers throughout the repo (coded
+// retrieval, archival, experiments, benchmarks) keep asking for the same
+// handful of shapes, and every retrieval response used to pay the
+// derivation again. Cached hands out a process-wide singleton instead; a
+// Code is safe for concurrent use, so sharing is free.
+
+import "sync"
+
+// codecKey identifies a code shape.
+type codecKey struct{ data, parity int }
+
+var codecs sync.Map // codecKey -> *Code
+
+// Cached returns the shared Code for (dataShards, parityShards), building
+// it on first request. Invalid shapes return the same errors as New.
+func Cached(dataShards, parityShards int) (*Code, error) {
+	key := codecKey{dataShards, parityShards}
+	if v, ok := codecs.Load(key); ok {
+		return v.(*Code), nil
+	}
+	c, err := New(dataShards, parityShards)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := codecs.LoadOrStore(key, c)
+	return v.(*Code), nil
+}

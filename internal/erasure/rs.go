@@ -1,6 +1,7 @@
 package erasure
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -20,15 +21,22 @@ var (
 // shards. The encoding matrix is the Vandermonde matrix made systematic by
 // multiplying with the inverse of its top k x k block, so row i < k emits
 // data shard i unchanged.
+//
+// A Code is safe for concurrent use by multiple goroutines (the encode
+// matrix is immutable and the decode-matrix cache is internally locked), so
+// one instance per (k, m) — see Cached — serves a whole process.
 type Code struct {
 	dataShards   int
 	parityShards int
 	// encode holds the full (k+m) x k systematic matrix.
 	encode *matrix
+	// decode caches inverted decode submatrices per present-row set.
+	decode decodeCache
 }
 
 // New creates a code with the given shard counts. k must be >= 1, m >= 0,
-// and k+m <= 256 (the field size).
+// and k+m <= 256 (the field size). Callers that do not need a private
+// instance should prefer Cached, which shares one Code per shape.
 func New(dataShards, parityShards int) (*Code, error) {
 	if dataShards < 1 || parityShards < 0 || dataShards+parityShards > 256 {
 		return nil, fmt.Errorf("%w: k=%d m=%d", ErrBadShardCounts, dataShards, parityShards)
@@ -64,8 +72,34 @@ func (c *Code) TotalShards() int { return c.dataShards + c.parityShards }
 
 // Encode computes the parity shards for the given data shards. shards must
 // have length k+m; the first k entries must be equal-length data, and the
-// remaining m entries are overwritten (allocated if nil).
+// remaining m entries are overwritten (reusing their backing array when it
+// is large enough, allocating otherwise).
 func (c *Code) Encode(shards [][]byte) error {
+	if len(shards) != c.TotalShards() {
+		return fmt.Errorf("%w: got %d want %d", ErrShardCount, len(shards), c.TotalShards())
+	}
+	size, err := checkDataShards(shards[:c.dataShards])
+	if err != nil {
+		return err
+	}
+	data := shards[:c.dataShards]
+	for i := c.dataShards; i < len(shards); i++ {
+		shards[i] = shardBuffer(shards[i], size)
+	}
+	tasks := rowTasks(c.parityShards, size)
+	runRowTasks(tasks, func(t rowTask) {
+		out := shards[c.dataShards+t.row]
+		codeRowRange(c.encode.row(c.dataShards+t.row), data, out, t.lo, t.hi)
+	})
+	return nil
+}
+
+// EncodeScalarReference recomputes parity with the pre-kernel
+// byte-at-a-time GF(2^8) path (log/exp lookups per byte, no tables, no
+// parallelism). It exists as the reference for differential tests and as
+// the benchmark baseline the kernel speedups are measured against; outputs
+// are byte-identical to Encode.
+func (c *Code) EncodeScalarReference(shards [][]byte) error {
 	if len(shards) != c.TotalShards() {
 		return fmt.Errorf("%w: got %d want %d", ErrShardCount, len(shards), c.TotalShards())
 	}
@@ -87,6 +121,15 @@ func (c *Code) Encode(shards [][]byte) error {
 	return nil
 }
 
+// shardBuffer returns buf resized to size bytes, reusing its backing array
+// when possible. Contents are unspecified (callers overwrite every byte).
+func shardBuffer(buf []byte, size int) []byte {
+	if cap(buf) >= size {
+		return buf[:size]
+	}
+	return make([]byte, size)
+}
+
 func checkDataShards(data [][]byte) (int, error) {
 	if len(data) == 0 || data[0] == nil {
 		return 0, ErrShardNoData
@@ -103,9 +146,17 @@ func checkDataShards(data [][]byte) (int, error) {
 	return size, nil
 }
 
-// Reconstruct fills in the missing (nil) shards in place. It needs at least
-// k present shards of equal size; on success every slot is populated and
-// the data shards equal the originals.
+// Reconstruct fills in the missing shards in place. A shard is missing when
+// its length is zero (nil or empty; a zero-length slice with spare capacity
+// is reused as the output buffer). It needs at least k present shards of
+// equal size; a present shard of any other length is reported as
+// ErrShardSizeMismatch — never silently resized or clobbered. On success
+// every slot is populated and the data shards equal the originals.
+//
+// The inverted decode matrix for each distinct loss pattern is cached, so
+// repeated Reconstruct calls with the same present-row set (the common case:
+// one failed node erases the same shard index for every block it held) skip
+// Gaussian elimination entirely.
 func (c *Code) Reconstruct(shards [][]byte) error {
 	if len(shards) != c.TotalShards() {
 		return fmt.Errorf("%w: got %d want %d", ErrShardCount, len(shards), c.TotalShards())
@@ -113,7 +164,7 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 	present := make([]int, 0, len(shards))
 	size := -1
 	for i, s := range shards {
-		if s == nil {
+		if len(s) == 0 {
 			continue
 		}
 		if size == -1 {
@@ -126,52 +177,71 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 	if len(present) < c.dataShards {
 		return fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, len(present), c.dataShards)
 	}
-	if size <= 0 {
-		return ErrShardNoData
-	}
-	// Fast path: all data shards present — just re-encode parity.
-	allData := true
+	// Solve for any missing data shards using the first k present rows.
+	var missingData []int
 	for i := 0; i < c.dataShards; i++ {
-		if shards[i] == nil {
-			allData = false
-			break
+		if len(shards[i]) == 0 {
+			missingData = append(missingData, i)
 		}
 	}
-	if !allData {
-		// Solve for the data shards using k present rows.
+	if len(missingData) > 0 {
 		rows := present[:c.dataShards]
-		sub := c.encode.subMatrixRows(rows)
-		inv, ok := sub.invert()
-		if !ok {
-			return errors.New("erasure: decode matrix singular")
+		inv, err := c.decodeMatrix(rows)
+		if err != nil {
+			return err
 		}
-		dataOut := make([][]byte, c.dataShards)
-		for r := 0; r < c.dataShards; r++ {
-			dataOut[r] = make([]byte, size)
-			row := inv.row(r)
-			for j, src := range rows {
-				mulSliceXor(row[j], shards[src], dataOut[r])
-			}
+		inputs := make([][]byte, c.dataShards)
+		for j, src := range rows {
+			inputs[j] = shards[src]
 		}
-		for i := 0; i < c.dataShards; i++ {
-			if shards[i] == nil {
-				shards[i] = dataOut[i]
-			}
+		outs := make([][]byte, len(missingData))
+		for oi, i := range missingData {
+			outs[oi] = shardBuffer(shards[i], size)
+		}
+		runRowTasks(rowTasks(len(missingData), size), func(t rowTask) {
+			codeRowRange(inv.row(missingData[t.row]), inputs, outs[t.row], t.lo, t.hi)
+		})
+		for oi, i := range missingData {
+			shards[i] = outs[oi]
 		}
 	}
 	// Recompute any missing parity from the (now complete) data shards.
+	var missingParity []int
 	for i := c.dataShards; i < len(shards); i++ {
-		if shards[i] != nil {
-			continue
+		if len(shards[i]) == 0 {
+			missingParity = append(missingParity, i)
 		}
-		out := make([]byte, size)
-		row := c.encode.row(i)
-		for j := 0; j < c.dataShards; j++ {
-			mulSliceXor(row[j], shards[j], out)
+	}
+	if len(missingParity) > 0 {
+		data := shards[:c.dataShards]
+		outs := make([][]byte, len(missingParity))
+		for oi, i := range missingParity {
+			outs[oi] = shardBuffer(shards[i], size)
 		}
-		shards[i] = out
+		runRowTasks(rowTasks(len(missingParity), size), func(t rowTask) {
+			codeRowRange(c.encode.row(missingParity[t.row]), data, outs[t.row], t.lo, t.hi)
+		})
+		for oi, i := range missingParity {
+			shards[i] = outs[oi]
+		}
 	}
 	return nil
+}
+
+// decodeMatrix returns the inverse of the encode submatrix for the given
+// present rows, from the cache when the loss pattern has been seen before.
+func (c *Code) decodeMatrix(rows []int) (*matrix, error) {
+	key := decodeKey(rows)
+	if inv := c.decode.get(key); inv != nil {
+		return inv, nil
+	}
+	sub := c.encode.subMatrixRows(rows)
+	inv, ok := sub.invert()
+	if !ok {
+		return nil, errors.New("erasure: decode matrix singular")
+	}
+	c.decode.put(key, inv)
+	return inv, nil
 }
 
 // Verify recomputes parity from the data shards and reports whether every
@@ -189,15 +259,9 @@ func (c *Code) Verify(shards [][]byte) (bool, error) {
 		if len(shards[i]) != size {
 			return false, ErrShardSizeMismatch
 		}
-		clear(buf)
-		row := c.encode.row(i)
-		for j := 0; j < c.dataShards; j++ {
-			mulSliceXor(row[j], shards[j], buf)
-		}
-		for b := range buf {
-			if buf[b] != shards[i][b] {
-				return false, nil
-			}
+		codeRow(c.encode.row(i), shards[:c.dataShards], buf)
+		if !bytes.Equal(buf, shards[i]) {
+			return false, nil
 		}
 	}
 	return true, nil
@@ -205,22 +269,21 @@ func (c *Code) Verify(shards [][]byte) (bool, error) {
 
 // Split partitions payload into k equal-size data shards (zero-padded), with
 // an 8-byte length prefix so Join can recover the exact payload. The
-// returned slice has k+m entries with parity already encoded.
+// returned slice has k+m entries with parity already encoded. All shards
+// share one backing allocation (each capped to its own range).
 func (c *Code) Split(payload []byte) ([][]byte, error) {
-	framed := make([]byte, 8+len(payload))
-	binary.BigEndian.PutUint64(framed, uint64(len(payload)))
-	copy(framed[8:], payload)
-	shardSize := (len(framed) + c.dataShards - 1) / c.dataShards
+	framedLen := 8 + len(payload)
+	shardSize := (framedLen + c.dataShards - 1) / c.dataShards
 	if shardSize == 0 {
 		shardSize = 1
 	}
-	shards := make([][]byte, c.TotalShards())
-	for i := 0; i < c.dataShards; i++ {
-		shards[i] = make([]byte, shardSize)
-		start := i * shardSize
-		if start < len(framed) {
-			copy(shards[i], framed[start:])
-		}
+	total := c.TotalShards()
+	backing := make([]byte, total*shardSize)
+	binary.BigEndian.PutUint64(backing, uint64(len(payload)))
+	copy(backing[8:], payload)
+	shards := make([][]byte, total)
+	for i := range shards {
+		shards[i] = backing[i*shardSize : (i+1)*shardSize : (i+1)*shardSize]
 	}
 	if err := c.Encode(shards); err != nil {
 		return nil, err

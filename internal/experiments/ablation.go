@@ -10,7 +10,6 @@ import (
 	"icistrategy/internal/core"
 	"icistrategy/internal/metrics"
 	"icistrategy/internal/simnet"
-	"icistrategy/internal/workload"
 )
 
 // E10ClusteringAblation regenerates the clustering-method ablation: on a
@@ -48,7 +47,7 @@ func E10ClusteringAblation(p Params) (*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		gen, err := workload.NewGenerator(workload.Config{Accounts: 64, PayloadBytes: p.ProtoPayload, Seed: p.Seed})
+		gen, err := p.protoGen()
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/erasure"
+	"icistrategy/internal/metrics"
+)
+
+// Coding-throughput measurement: the erasure hot path in isolation.
+//
+// Every coded-storage figure (archival, repair, coded retrieval) sits on
+// top of the Reed-Solomon kernels, so their MB/s is the gating cost of the
+// low-storage node the related work targets. E13 measures the table-driven
+// kernel path against the byte-at-a-time scalar reference at block scale,
+// and cmd/icibench -erasurebench serializes the same numbers to
+// BENCH_PR2.json so the repo carries a perf trajectory across PRs.
+
+// CodingShape is one (k, m) code configuration to measure.
+type CodingShape struct {
+	K int `json:"k"`
+	M int `json:"m"`
+}
+
+// CodingResult is the measurement for one shape at one payload size. MB/s
+// is payload bytes (k·shard bytes) per wall second; allocs are mallocs per
+// operation observed over the measurement window.
+type CodingResult struct {
+	CodingShape
+	ShardBytes          int     `json:"shard_bytes"`
+	PayloadBytes        int     `json:"payload_bytes"`
+	EncodeMBps          float64 `json:"encode_mbps"`
+	EncodeAllocs        int64   `json:"encode_allocs_per_op"`
+	EncodeScalarMBps    float64 `json:"encode_scalar_mbps"`
+	EncodeSpeedup       float64 `json:"encode_speedup"`
+	ReconstructMBps     float64 `json:"reconstruct_mbps"`
+	ReconstructAllocs   int64   `json:"reconstruct_allocs_per_op"`
+	ReconstructColdMBps float64 `json:"reconstruct_cold_mbps"`
+}
+
+// CodingShapes returns the shapes E13 sweeps: the (16, 4) headline the
+// bench trail tracks across PRs, plus the archival shape the cluster
+// actually runs (RS(c-p, p) at the E11 sweep's midpoint parity).
+func CodingShapes(p Params) []CodingShape {
+	shapes := []CodingShape{{K: 16, M: 4}}
+	parity := p.ClusterSize / 8
+	if parity >= 1 && p.ClusterSize-parity >= 1 && !(p.ClusterSize-parity == 16 && parity == 4) {
+		shapes = append(shapes, CodingShape{K: p.ClusterSize - parity, M: parity})
+	}
+	return shapes
+}
+
+// timeOp measures op until at least window has elapsed (always at least one
+// timed iteration after one untimed warm-up) and returns seconds per
+// operation plus mallocs per operation.
+func timeOp(window time.Duration, op func() error) (secPerOp float64, allocsPerOp int64, err error) {
+	if err := op(); err != nil {
+		return 0, 0, err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	iters := 0
+	batch := 1
+	start := time.Now()
+	elapsed := time.Duration(0)
+	for elapsed < window {
+		for i := 0; i < batch; i++ {
+			if err := op(); err != nil {
+				return 0, 0, err
+			}
+		}
+		iters += batch
+		elapsed = time.Since(start)
+		if batch < 1<<16 {
+			batch *= 2
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return elapsed.Seconds() / float64(iters), int64(after.Mallocs-before.Mallocs) / int64(iters), nil
+}
+
+// RunCodingBench measures one shape at the given payload size, spending
+// roughly window per measured operation (four operations total).
+func RunCodingBench(shape CodingShape, payloadBytes int, seed uint64, window time.Duration) (CodingResult, error) {
+	code, err := erasure.Cached(shape.K, shape.M)
+	if err != nil {
+		return CodingResult{}, err
+	}
+	shardBytes := (payloadBytes + shape.K - 1) / shape.K
+	if shardBytes == 0 {
+		shardBytes = 1
+	}
+	payload := shardBytes * shape.K
+	rng := blockcrypto.NewRNG(seed)
+	data := make([][]byte, shape.K)
+	for i := range data {
+		data[i] = make([]byte, shardBytes)
+		for j := range data[i] {
+			data[i][j] = byte(rng.Intn(256))
+		}
+	}
+	newShards := func() [][]byte {
+		shards := make([][]byte, shape.K+shape.M)
+		copy(shards, data)
+		for i := shape.K; i < len(shards); i++ {
+			shards[i] = make([]byte, shardBytes)
+		}
+		return shards
+	}
+	mbps := func(secPerOp float64) float64 {
+		if secPerOp <= 0 {
+			return 0
+		}
+		return float64(payload) / secPerOp / (1 << 20)
+	}
+
+	res := CodingResult{CodingShape: shape, ShardBytes: shardBytes, PayloadBytes: payload}
+
+	shards := newShards()
+	sec, allocs, err := timeOp(window, func() error { return code.Encode(shards) })
+	if err != nil {
+		return CodingResult{}, err
+	}
+	res.EncodeMBps, res.EncodeAllocs = mbps(sec), allocs
+
+	scalarShards := newShards()
+	sec, _, err = timeOp(window, func() error { return code.EncodeScalarReference(scalarShards) })
+	if err != nil {
+		return CodingResult{}, err
+	}
+	res.EncodeScalarMBps = mbps(sec)
+	if res.EncodeScalarMBps > 0 {
+		res.EncodeSpeedup = res.EncodeMBps / res.EncodeScalarMBps
+	}
+
+	// Reconstruction with the worst-case loss (m data shards erased),
+	// repeating one loss pattern: the decode-matrix-cache path a repairing
+	// cluster actually takes.
+	encoded := newShards()
+	if err := code.Encode(encoded); err != nil {
+		return CodingResult{}, err
+	}
+	work := make([][]byte, len(encoded))
+	erase := func() {
+		copy(work, encoded)
+		for j := 0; j < shape.M && j < shape.K; j++ {
+			work[j] = nil
+		}
+	}
+	sec, allocs, err = timeOp(window, func() error {
+		erase()
+		return code.Reconstruct(work)
+	})
+	if err != nil {
+		return CodingResult{}, err
+	}
+	res.ReconstructMBps, res.ReconstructAllocs = mbps(sec), allocs
+
+	// Cold reconstruction: a fresh codec per operation, i.e. the
+	// pre-registry cost (systematic-matrix derivation plus Gaussian
+	// elimination on every call).
+	sec, _, err = timeOp(window, func() error {
+		freshCode, err := erasure.New(shape.K, shape.M)
+		if err != nil {
+			return err
+		}
+		erase()
+		return freshCode.Reconstruct(work)
+	})
+	if err != nil {
+		return CodingResult{}, err
+	}
+	res.ReconstructColdMBps = mbps(sec)
+	return res, nil
+}
+
+// codingWindow scales the per-operation measurement window with the block
+// size so the Quick configuration stays test-fast while paper-scale runs
+// get stable numbers.
+func codingWindow(p Params) time.Duration {
+	if p.BlockBody >= 1<<20 {
+		return 250 * time.Millisecond
+	}
+	return 25 * time.Millisecond
+}
+
+// E13CodingThroughput regenerates the coding-throughput table: kernel vs
+// scalar encode MB/s, the speedup, and warm/cold reconstruction MB/s at
+// the configured block size.
+func E13CodingThroughput(p Params) (*metrics.Table, error) {
+	tbl := metrics.NewTable(
+		fmt.Sprintf("E13 (extension): erasure coding throughput (%s payloads)",
+			metrics.HumanBytes(float64(p.BlockBody))),
+		"code", "encode_MBps", "scalar_MBps", "speedup", "reconstruct_MBps", "reconstruct_cold_MBps")
+	for _, shape := range CodingShapes(p) {
+		r, err := RunCodingBench(shape, int(p.BlockBody), p.Seed, codingWindow(p))
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(fmt.Sprintf("RS(%d,%d)", shape.K, shape.M),
+			r.EncodeMBps, r.EncodeScalarMBps, r.EncodeSpeedup,
+			r.ReconstructMBps, r.ReconstructColdMBps)
+	}
+	return tbl, nil
+}

@@ -8,7 +8,6 @@ import (
 	"icistrategy/internal/gossip"
 	"icistrategy/internal/metrics"
 	"icistrategy/internal/simnet"
-	"icistrategy/internal/workload"
 )
 
 // floodFanout is the gossip fanout the full-replication baseline uses —
@@ -53,7 +52,7 @@ func E4CommunicationOverhead(p Params) (*metrics.Table, error) {
 
 // protoBodySize computes the encoded body size of a protocol-scale block.
 func (p Params) protoBodySize() (int, error) {
-	gen, err := workload.NewGenerator(workload.Config{Accounts: 64, PayloadBytes: p.ProtoPayload, Seed: p.Seed})
+	gen, err := p.protoGen()
 	if err != nil {
 		return 0, err
 	}
@@ -131,7 +130,7 @@ func (p Params) iciPerNode(n int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	gen, err := workload.NewGenerator(workload.Config{Accounts: 64, PayloadBytes: p.ProtoPayload, Seed: p.Seed})
+	gen, err := p.protoGen()
 	if err != nil {
 		return 0, err
 	}

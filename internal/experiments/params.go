@@ -11,6 +11,7 @@ import (
 	"icistrategy/internal/blockcrypto"
 	"icistrategy/internal/cluster"
 	"icistrategy/internal/simnet"
+	"icistrategy/internal/workload"
 )
 
 // Params carries the shared configuration of the experiment suite. Zero
@@ -87,6 +88,12 @@ func Quick() Params {
 		ProtoClusterCount: []int{2, 4},
 		AvailTrials:       50,
 	}
+}
+
+// protoGen builds the transaction generator every protocol-scale experiment
+// shares: 64 accounts, the configured payload size, the suite seed.
+func (p Params) protoGen() (*workload.Generator, error) {
+	return workload.NewGenerator(workload.Config{Accounts: 64, PayloadBytes: p.ProtoPayload, Seed: p.Seed})
 }
 
 // assignments builds the ICI cluster partition and RapidChain committee

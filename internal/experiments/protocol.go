@@ -8,7 +8,6 @@ import (
 	"icistrategy/internal/chain"
 	"icistrategy/internal/core"
 	"icistrategy/internal/metrics"
-	"icistrategy/internal/workload"
 )
 
 // ErrNeverCommitted is returned when a protocol measurement drains the
@@ -66,7 +65,7 @@ func E6VerificationLatency(p Params) (*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		gen, err := workload.NewGenerator(workload.Config{Accounts: 64, PayloadBytes: p.ProtoPayload, Seed: p.Seed})
+		gen, err := p.protoGen()
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +115,7 @@ func E9Throughput(p Params) (*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		gen, err := workload.NewGenerator(workload.Config{Accounts: 64, PayloadBytes: p.ProtoPayload, Seed: p.Seed})
+		gen, err := p.protoGen()
 		if err != nil {
 			return nil, err
 		}

@@ -28,6 +28,7 @@ func All() []Experiment {
 		{ID: "E10", Name: "clustering method ablation", Run: E10ClusteringAblation},
 		{ID: "E11", Name: "coded archival tradeoff (extension)", Run: E11ArchivalTradeoff},
 		{ID: "E12", Name: "repair cost after departure (extension)", Run: E12RepairCost},
+		{ID: "E13", Name: "erasure coding throughput (extension)", Run: E13CodingThroughput},
 	}
 }
 

@@ -5,7 +5,6 @@ import (
 
 	"icistrategy/internal/core"
 	"icistrategy/internal/metrics"
-	"icistrategy/internal/workload"
 )
 
 // E12RepairCost is an extension experiment: the network cost of restoring
@@ -35,7 +34,7 @@ func E12RepairCost(p Params) (*metrics.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			gen, err := workload.NewGenerator(workload.Config{Accounts: 64, PayloadBytes: p.ProtoPayload, Seed: p.Seed})
+			gen, err := p.protoGen()
 			if err != nil {
 				return nil, err
 			}

@@ -78,8 +78,12 @@ type Store struct {
 	headers     map[blockcrypto.Hash]chain.Header
 	headerOrder []blockcrypto.Hash
 	chunks      map[ChunkID]Chunk
-	pinned      map[ChunkID]bool
-	stats       Stats
+	// byBlock indexes stored chunk indices per block, kept in lockstep with
+	// chunks by PutChunk/DeleteChunk/GC, so retrieval and repair paths pay
+	// O(chunks of that block) instead of scanning the whole store.
+	byBlock map[blockcrypto.Hash]map[int]struct{}
+	pinned  map[ChunkID]bool
+	stats   Stats
 }
 
 // NewStore returns an empty store.
@@ -87,6 +91,7 @@ func NewStore() *Store {
 	return &Store{
 		headers: make(map[blockcrypto.Hash]chain.Header),
 		chunks:  make(map[ChunkID]Chunk),
+		byBlock: make(map[blockcrypto.Hash]map[int]struct{}),
 		pinned:  make(map[ChunkID]bool),
 	}
 }
@@ -129,7 +134,8 @@ func (s *Store) Headers() []chain.Header {
 
 // PutChunk stores a chunk after verifying it (idempotent; re-putting the
 // same chunk is a no-op, re-putting different data under the same ID is an
-// error).
+// error). The store keeps a private copy of the data: a caller mutating its
+// buffer after the put cannot corrupt the stored chunk.
 func (s *Store) PutChunk(c Chunk) error {
 	if err := c.Verify(); err != nil {
 		return err
@@ -140,13 +146,22 @@ func (s *Store) PutChunk(c Chunk) error {
 		}
 		return nil
 	}
+	c.Data = append([]byte(nil), c.Data...)
 	s.chunks[c.ID] = c
+	idxs, ok := s.byBlock[c.ID.Block]
+	if !ok {
+		idxs = make(map[int]struct{})
+		s.byBlock[c.ID.Block] = idxs
+	}
+	idxs[c.ID.Index] = struct{}{}
 	s.stats.ChunkBytes += int64(len(c.Data))
 	s.stats.ChunkCount++
 	return nil
 }
 
-// Chunk fetches a stored chunk, verifying integrity on the way out.
+// Chunk fetches a stored chunk, verifying integrity on the way out. The
+// returned chunk holds a private copy of the data: mutating it cannot
+// corrupt the store, and a later re-read returns the original bytes.
 func (s *Store) Chunk(id ChunkID) (Chunk, error) {
 	c, ok := s.chunks[id]
 	if !ok {
@@ -155,6 +170,7 @@ func (s *Store) Chunk(id ChunkID) (Chunk, error) {
 	if err := c.Verify(); err != nil {
 		return Chunk{}, err
 	}
+	c.Data = append([]byte(nil), c.Data...)
 	return c, nil
 }
 
@@ -174,10 +190,22 @@ func (s *Store) DeleteChunk(id ChunkID) error {
 	if !ok {
 		return nil
 	}
+	s.dropChunk(id, c)
+	return nil
+}
+
+// dropChunk removes a chunk from the map, the per-block index, and the
+// accounting. The caller has already checked pinning.
+func (s *Store) dropChunk(id ChunkID, c Chunk) {
 	delete(s.chunks, id)
+	if idxs, ok := s.byBlock[id.Block]; ok {
+		delete(idxs, id.Index)
+		if len(idxs) == 0 {
+			delete(s.byBlock, id.Block)
+		}
+	}
 	s.stats.ChunkBytes -= int64(len(c.Data))
 	s.stats.ChunkCount--
-	return nil
 }
 
 // Pin marks a chunk as protected from deletion and GC.
@@ -187,13 +215,16 @@ func (s *Store) Pin(id ChunkID) { s.pinned[id] = true }
 func (s *Store) Unpin(id ChunkID) { delete(s.pinned, id) }
 
 // ChunksForBlock returns the indices of stored chunks of the given block,
-// ascending.
+// ascending. It reads the per-block index, so the cost is proportional to
+// the chunks of that one block, not the whole store.
 func (s *Store) ChunksForBlock(block blockcrypto.Hash) []int {
-	var out []int
-	for id := range s.chunks {
-		if id.Block == block {
-			out = append(out, id.Index)
-		}
+	idxs, ok := s.byBlock[block]
+	if !ok {
+		return nil
+	}
+	out := make([]int, 0, len(idxs))
+	for idx := range idxs {
+		out = append(out, idx)
 	}
 	sort.Ints(out)
 	return out
@@ -207,10 +238,8 @@ func (s *Store) GC(keep func(ChunkID) bool) int64 {
 		if s.pinned[id] || keep(id) {
 			continue
 		}
-		delete(s.chunks, id)
 		freed += int64(len(c.Data))
-		s.stats.ChunkBytes -= int64(len(c.Data))
-		s.stats.ChunkCount--
+		s.dropChunk(id, c)
 	}
 	return freed
 }
@@ -219,15 +248,14 @@ func (s *Store) GC(keep func(ChunkID) bool) int64 {
 func (s *Store) Stats() Stats { return s.stats }
 
 // Corrupt flips a byte of the stored chunk, for failure-injection tests.
-// It reports whether the chunk existed.
+// It reports whether the chunk existed. The stored slice is private (copied
+// on put), so it can be mutated in place; the digest is left unchanged, so
+// reads now fail verification.
 func (s *Store) Corrupt(id ChunkID) bool {
 	c, ok := s.chunks[id]
 	if !ok || len(c.Data) == 0 {
 		return false
 	}
-	mutated := append([]byte(nil), c.Data...)
-	mutated[0] ^= 0xFF
-	c.Data = mutated // digest left unchanged: reads now fail verification
-	s.chunks[id] = c
+	c.Data[0] ^= 0xFF
 	return true
 }

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"bytes"
 	"testing"
 
 	"icistrategy/internal/blockcrypto"
@@ -193,6 +194,106 @@ func TestGC(t *testing.T) {
 	}
 	if !s.HasChunk(keepers.ID) || !s.HasChunk(pinnedVictim.ID) || s.HasChunk(victim.ID) {
 		t.Fatal("GC kept/removed the wrong chunks")
+	}
+}
+
+// TestChunkMutationDoesNotCorruptStore is the regression test for the
+// aliasing bug: PutChunk used to retain the caller's slice and Chunk used
+// to return the stored slice uncopied, so mutating either buffer silently
+// corrupted the store.
+func TestChunkMutationDoesNotCorruptStore(t *testing.T) {
+	s := NewStore()
+	c := testChunk(4, 0, 64)
+	orig := append([]byte(nil), c.Data...)
+	if err := s.PutChunk(c); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the ingested buffer after the put must not reach the store.
+	c.Data[0] ^= 0xFF
+	got, err := s.Chunk(c.ID)
+	if err != nil {
+		t.Fatalf("read after ingest-buffer mutation: %v", err)
+	}
+	if !bytes.Equal(got.Data, orig) {
+		t.Fatal("store aliased the caller's put buffer")
+	}
+	// Mutating a returned chunk must not corrupt a later re-read.
+	got.Data[1] ^= 0xFF
+	again, err := s.Chunk(c.ID)
+	if err != nil {
+		t.Fatalf("re-read after returned-chunk mutation: %v", err)
+	}
+	if !bytes.Equal(again.Data, orig) {
+		t.Fatal("store aliased the buffer it returned to a reader")
+	}
+}
+
+// checkBlockIndex asserts the per-block index and the chunk map describe
+// exactly the same set of chunks.
+func checkBlockIndex(t *testing.T, s *Store) {
+	t.Helper()
+	total := 0
+	for block, idxs := range s.byBlock {
+		if len(idxs) == 0 {
+			t.Fatalf("index holds empty entry for block %s", block.Short())
+		}
+		for idx := range idxs {
+			if _, ok := s.chunks[ChunkID{Block: block, Index: idx}]; !ok {
+				t.Fatalf("index lists missing chunk %s/%d", block.Short(), idx)
+			}
+			total++
+		}
+	}
+	if total != len(s.chunks) {
+		t.Fatalf("index covers %d chunks, store holds %d", total, len(s.chunks))
+	}
+}
+
+// TestBlockIndexConsistencyAfterGC drives put/delete/GC and asserts the
+// per-block index never drifts from the chunk map.
+func TestBlockIndexConsistencyAfterGC(t *testing.T) {
+	s := NewStore()
+	for block := byte(0); block < 4; block++ {
+		for idx := 0; idx < 6; idx++ {
+			if err := s.PutChunk(testChunk(block, idx, 16)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	checkBlockIndex(t, s)
+	pin := testChunk(2, 3, 16).ID
+	s.Pin(pin)
+	if err := s.DeleteChunk(testChunk(1, 5, 16).ID); err != nil {
+		t.Fatal(err)
+	}
+	checkBlockIndex(t, s)
+	// GC away every odd index; the pinned chunk survives regardless.
+	s.GC(func(id ChunkID) bool { return id.Index%2 == 0 })
+	checkBlockIndex(t, s)
+	if !s.HasChunk(pin) {
+		t.Fatal("GC removed a pinned chunk")
+	}
+	for block := byte(0); block < 4; block++ {
+		want := []int{0, 2, 4}
+		if block == 2 {
+			want = []int{0, 2, 3, 4}
+		}
+		got := s.ChunksForBlock(testChunk(block, 0, 16).ID.Block)
+		if len(got) != len(want) {
+			t.Fatalf("block %d: ChunksForBlock = %v, want %v", block, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("block %d: ChunksForBlock = %v, want %v", block, got, want)
+			}
+		}
+	}
+	// Dropping the rest must empty the index entirely.
+	s.Unpin(pin)
+	s.GC(func(ChunkID) bool { return false })
+	checkBlockIndex(t, s)
+	if len(s.byBlock) != 0 {
+		t.Fatalf("index still holds %d blocks after full GC", len(s.byBlock))
 	}
 }
 
