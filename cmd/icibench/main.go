@@ -24,6 +24,8 @@ import (
 	"time"
 
 	"icistrategy/internal/experiments"
+	"icistrategy/internal/obs"
+	"icistrategy/internal/trace"
 )
 
 func main() {
@@ -41,7 +43,11 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
 	erasureBench := fs.String("erasurebench", "", "write an erasure hot-path throughput snapshot to this JSON file and exit")
 	minSpeedup := fs.Float64("minspeedup", 0, "with -erasurebench: fail unless kernel/scalar encode speedup reaches this factor")
+	obsf := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := obsf.Setup(); err != nil {
 		return err
 	}
 
@@ -52,6 +58,8 @@ func run(args []string) error {
 	if *seed != 0 {
 		params.Seed = *seed
 	}
+	params.Tracer = obsf.Tracer()
+	params.Registry = obsf.Registry()
 
 	if *erasureBench != "" {
 		return runErasureBench(*erasureBench, params, *quick, *minSpeedup)
@@ -92,7 +100,9 @@ func run(args []string) error {
 			}
 		}
 	}
-	return nil
+	return obsf.Finish(os.Stdout, func(events []trace.Event) string {
+		return experiments.TraceSummaryTable("suite-wide per-phase trace breakdown", events).String()
+	})
 }
 
 // erasureBenchReport is the schema of BENCH_PR2.json: one measurement per

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	icinet [-members 8] [-replication 2] [-blocks 5] [-tx 100] [-seed 42]
+//	       [-trace summary|tree] [-metrics FILE|-] [-pprof ADDR]
 package main
 
 import (
@@ -15,8 +16,11 @@ import (
 	"os"
 
 	"icistrategy/internal/chain"
+	"icistrategy/internal/experiments"
 	"icistrategy/internal/metrics"
 	"icistrategy/internal/netx"
+	"icistrategy/internal/obs"
+	"icistrategy/internal/trace"
 	"icistrategy/internal/workload"
 )
 
@@ -34,7 +38,11 @@ func run(args []string) error {
 	blocks := fs.Int("blocks", 5, "blocks to distribute")
 	txPerBlock := fs.Int("tx", 100, "transactions per block")
 	seed := fs.Uint64("seed", 42, "workload seed")
+	obsf := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := obsf.Setup(); err != nil {
 		return err
 	}
 
@@ -47,6 +55,7 @@ func run(args []string) error {
 			return err
 		}
 		defer s.Close()
+		s.SetTracer(obsf.Tracer())
 		servers[i] = s
 		addrs[i] = s.Addr()
 	}
@@ -57,6 +66,7 @@ func run(args []string) error {
 		return err
 	}
 	defer cl.Close()
+	cl.SetTracer(obsf.Tracer())
 
 	gen, err := workload.NewGenerator(workload.Config{Accounts: 200, PayloadBytes: 40, Seed: *seed})
 	if err != nil {
@@ -116,5 +126,9 @@ func run(args []string) error {
 		fmt.Printf("degraded read OK: block %d reassembled from surviving replicas\n",
 			got.Header.Height)
 	}
-	return nil
+
+	fmt.Println()
+	return obsf.Finish(os.Stdout, func(events []trace.Event) string {
+		return experiments.TraceSummaryTable("per-phase trace breakdown (TCP)", events).String()
+	})
 }

@@ -7,6 +7,7 @@
 //
 //	icisim [-nodes 128] [-clusters 8] [-replication 1] [-blocks 10]
 //	       [-tx 256] [-payload 40] [-seed 42] [-verbose]
+//	       [-trace summary|tree] [-metrics FILE|-] [-pprof ADDR]
 package main
 
 import (
@@ -16,8 +17,11 @@ import (
 	"time"
 
 	"icistrategy/internal/core"
+	"icistrategy/internal/experiments"
 	"icistrategy/internal/metrics"
+	"icistrategy/internal/obs"
 	"icistrategy/internal/simnet"
+	"icistrategy/internal/trace"
 	"icistrategy/internal/workload"
 )
 
@@ -38,7 +42,11 @@ func run(args []string) error {
 	payload := fs.Int("payload", 40, "payload bytes per transaction")
 	seed := fs.Uint64("seed", 42, "simulation seed")
 	verbose := fs.Bool("verbose", false, "print per-block progress")
+	obsf := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := obsf.Setup(); err != nil {
 		return err
 	}
 
@@ -47,6 +55,8 @@ func run(args []string) error {
 		Clusters:    *clusters,
 		Replication: *replication,
 		Seed:        *seed,
+		Tracer:      obsf.Tracer(),
+		Registry:    obsf.Registry(),
 	})
 	if err != nil {
 		return err
@@ -122,5 +132,8 @@ func run(args []string) error {
 		kt.AddRow(k, ks.Messages, metrics.HumanBytes(float64(ks.Bytes)))
 	}
 	fmt.Println(kt.String())
-	return nil
+
+	return obsf.Finish(os.Stdout, func(events []trace.Event) string {
+		return experiments.TraceSummaryTable("per-phase trace breakdown", events).String()
+	})
 }

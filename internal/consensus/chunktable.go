@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/metrics"
 	"icistrategy/internal/simnet"
+	"icistrategy/internal/trace"
 )
 
 // ChunkTable aggregates per-chunk verification votes for one block inside
@@ -24,6 +26,33 @@ type ChunkTable struct {
 	// terminal latches the first Committed/Rejected decision: a decided
 	// block stays decided no matter what trickles in afterwards.
 	terminal Decision
+	obs      VoteObserver
+}
+
+// VoteObserver carries the observability hooks a leader attaches to its
+// vote round: every counted vote, every equivocation, and the terminal
+// decision become trace points under Parent and increments on the named
+// registry counters. The zero VoteObserver (and nil counters/tracer inside
+// a non-zero one) is a valid no-op.
+type VoteObserver struct {
+	Tracer *trace.Tracer
+	Parent trace.SpanID
+	Node   int64
+	// Votes counts votes accepted into the table; Equivocations counts
+	// conflicting votes rejected; Decisions counts terminal decisions
+	// (one per decided block).
+	Votes         *metrics.Counter
+	Equivocations *metrics.Counter
+	Decisions     *metrics.Counter
+}
+
+// Instrument attaches observability hooks to this vote round.
+func (t *ChunkTable) Instrument(obs VoteObserver) { t.obs = obs }
+
+func inc(c *metrics.Counter) {
+	if c != nil {
+		c.Inc()
+	}
 }
 
 // CoverQuorumFor returns the per-chunk approval quorum used by a cluster of
@@ -87,16 +116,31 @@ func (t *ChunkTable) Add(v Vote) (Decision, error) {
 	app, rej := t.approve[v.ChunkIdx], t.reject[v.ChunkIdx]
 	if v.Approve {
 		if rej[v.Voter] {
+			t.observeEquivocation(v)
 			return t.Decision(), fmt.Errorf("%w: %d on chunk %d", ErrEquivocation, v.Voter, v.ChunkIdx)
 		}
 		app[v.Voter] = true
 	} else {
 		if app[v.Voter] {
+			t.observeEquivocation(v)
 			return t.Decision(), fmt.Errorf("%w: %d on chunk %d", ErrEquivocation, v.Voter, v.ChunkIdx)
 		}
 		rej[v.Voter] = true
 	}
+	inc(t.obs.Votes)
+	if t.obs.Tracer.Enabled() {
+		errStr := ""
+		if !v.Approve {
+			errStr = "reject"
+		}
+		t.obs.Tracer.Point(t.obs.Parent, "consensus", fmt.Sprintf("vote[%d]", v.ChunkIdx), int64(v.Voter), 0, errStr)
+	}
 	return t.Decision(), nil
+}
+
+func (t *ChunkTable) observeEquivocation(v Vote) {
+	inc(t.obs.Equivocations)
+	t.obs.Tracer.Point(t.obs.Parent, "consensus", fmt.Sprintf("vote[%d]", v.ChunkIdx), int64(v.Voter), 0, "equivocation")
 }
 
 // HasVoted reports whether voter already cast a vote (either way) on
@@ -147,6 +191,12 @@ func (t *ChunkTable) Decision() Decision {
 	}
 	if d != Pending {
 		t.terminal = d
+		inc(t.obs.Decisions)
+		errStr := ""
+		if d == Rejected {
+			errStr = "rejected"
+		}
+		t.obs.Tracer.Point(t.obs.Parent, "consensus", "decision", t.obs.Node, 0, errStr)
 	}
 	return d
 }

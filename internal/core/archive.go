@@ -107,21 +107,29 @@ func (s *System) ArchiveBlock(c int, block blockcrypto.Hash, parity int, cb func
 
 // archive retrieves the full block, encodes it, and distributes shares.
 func (n *Node) archive(net *simnet.Network, block blockcrypto.Hash, info archiveInfo, cb func(error)) {
-	n.RetrieveBlock(net, block, func(b *chain.Block, err error) {
+	n.pc.archives.Inc()
+	span := n.tr.Start(0, "archive", "archive", int64(n.id))
+	done := func(err error) {
+		span.SetErr(err)
+		span.End()
+		cb(err)
+	}
+	n.retrieveBlock(net, block, span.Context(), func(b *chain.Block, err error) {
 		if err != nil {
-			cb(fmt.Errorf("archive %s: %w", block.Short(), err))
+			done(fmt.Errorf("archive %s: %w", block.Short(), err))
 			return
 		}
 		code, err := erasure.Cached(info.k, info.total-info.k)
 		if err != nil {
-			cb(err)
+			done(err)
 			return
 		}
 		shares, err := code.Split(b.EncodeBody())
 		if err != nil {
-			cb(err)
+			done(err)
 			return
 		}
+		span.AddBytes(int64(b.BodySize()))
 		// Group shares by owner so each member gets one message.
 		perMember := make(map[simnet.NodeID]map[int][]byte, len(n.cluster.members))
 		for _, m := range n.cluster.members {
@@ -130,7 +138,7 @@ func (n *Node) archive(net *simnet.Network, block blockcrypto.Hash, info archive
 		for i, share := range shares {
 			owners, oerr := Owners(info.seed, n.cluster.members, i, 1)
 			if oerr != nil {
-				cb(oerr)
+				done(oerr)
 				return
 			}
 			perMember[owners[0]][i] = share
@@ -138,15 +146,18 @@ func (n *Node) archive(net *simnet.Network, block blockcrypto.Hash, info archive
 		for _, m := range n.cluster.members {
 			msg := archiveShareMsg{Block: block, K: info.k, Total: info.total, Shares: perMember[m]}
 			if m == n.id {
+				prev := n.rxSpan
+				n.rxSpan = span.Context()
 				n.onArchiveShare(net, msg)
+				n.rxSpan = prev
 				continue
 			}
 			_ = net.Send(simnet.Message{
 				From: n.id, To: m, Kind: KindArchiveShare,
-				Size: msg.wireSize(), Payload: msg,
+				Size: msg.wireSize(), Payload: msg, Span: span.Context(),
 			})
 		}
-		cb(nil)
+		done(nil)
 	})
 }
 
@@ -156,6 +167,8 @@ func (n *Node) onArchiveShare(_ *simnet.Network, m archiveShareMsg) {
 	if !n.store.HasHeader(m.Block) {
 		return // never finalized here; nothing to archive
 	}
+	n.pc.archiveShares.Add(int64(len(m.Shares)))
+	n.tr.Point(n.rxSpan, "archive", "store-shares", int64(n.id), int64(m.wireSize()-reqOverhead), "")
 	// Drop replicated chunks first so share indices cannot collide with
 	// live chunk IDs.
 	for _, idx := range n.store.ChunksForBlock(m.Block) {
@@ -205,8 +218,10 @@ func (n *Node) RetrieveArchivedBlock(net *simnet.Network, block blockcrypto.Hash
 		chunks:  make(map[int]retrievedChunk),
 		timeout: fetchTimeout,
 		onBlock: cb,
+		span:    n.tr.Start(n.rxSpan, "archive", "retrieve-archived", int64(n.id)),
 	}
 	n.fetches[req] = st
+	n.pc.codedRetrieves.Inc()
 	for _, idx := range n.store.ChunksForBlock(block) {
 		id := storage.ChunkID{Block: block, Index: idx}
 		chk, err := n.store.Chunk(id)
@@ -271,6 +286,7 @@ func (n *Node) tryFinishCodedRetrieve(req uint64, st *fetchState) bool {
 	}
 	st.done = true
 	delete(n.fetches, req)
+	n.finishFetchSpan(st, int64(b.BodySize()), nil)
 	st.onBlock(b, nil)
 	return true
 }

@@ -42,6 +42,12 @@ type NodeMetrics struct {
 	// LocalChunkErrors counts local chunk-store read failures during
 	// retrieval seeding; each one falls through to a remote fetch.
 	LocalChunkErrors metrics.Counter
+	// StaleResponses counts fetch responses tagged with a superseded
+	// round/attempt. Their chunk data still merges (verified data speaks
+	// for itself) but they are barred from round bookkeeping, so a slow
+	// answer to round 1 cannot complete round 2's "everyone answered"
+	// accounting and fire a premature definitive failure.
+	StaleResponses metrics.Counter
 }
 
 // MetricsSnapshot is a plain-int64 copy of NodeMetrics, summable across
@@ -58,6 +64,7 @@ type MetricsSnapshot struct {
 	ChunkResends       int64
 	CommitProbes       int64
 	LocalChunkErrors   int64
+	StaleResponses     int64
 }
 
 // Snapshot copies the current counter values.
@@ -74,6 +81,7 @@ func (m *NodeMetrics) Snapshot() MetricsSnapshot {
 		ChunkResends:       m.ChunkResends.Value(),
 		CommitProbes:       m.CommitProbes.Value(),
 		LocalChunkErrors:   m.LocalChunkErrors.Value(),
+		StaleResponses:     m.StaleResponses.Value(),
 	}
 }
 
@@ -90,6 +98,7 @@ func (s *MetricsSnapshot) add(other MetricsSnapshot) {
 	s.ChunkResends += other.ChunkResends
 	s.CommitProbes += other.CommitProbes
 	s.LocalChunkErrors += other.LocalChunkErrors
+	s.StaleResponses += other.StaleResponses
 }
 
 // Metrics exposes the node's fault-recovery counters.

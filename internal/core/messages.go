@@ -128,15 +128,20 @@ type getChunkMsg struct {
 	Idx   int
 	// ReqID correlates the response with the requester's pending fetch.
 	ReqID uint64
+	// Attempt tags the fetch attempt that issued this request; responders
+	// echo it so the requester can tell a current answer from a stale one
+	// that outlived its timeout.
+	Attempt int
 }
 
 // chunkRespMsg returns a stored chunk with its proofs (empty Txs when the
 // responder does not hold it).
 type chunkRespMsg struct {
-	Block blockcrypto.Hash
-	ReqID uint64
-	Found bool
-	Chunk chunkPayload
+	Block   blockcrypto.Hash
+	ReqID   uint64
+	Attempt int // echoed from the request
+	Found   bool
+	Chunk   chunkPayload
 }
 
 func (m chunkRespMsg) wireSize() int {
@@ -150,6 +155,11 @@ func (m chunkRespMsg) wireSize() int {
 type getBlockChunksMsg struct {
 	Block blockcrypto.Hash
 	ReqID uint64
+	// Round tags the broadcast round that issued this request; responders
+	// echo it. Without the tag, an answer to a timed-out earlier round
+	// counts toward the current round's bookkeeping and can fire the
+	// "every member answered" definitive failure prematurely.
+	Round int
 }
 
 // blockChunksMsg returns all held chunks of a block, without proofs — a
@@ -157,6 +167,7 @@ type getBlockChunksMsg struct {
 type blockChunksMsg struct {
 	Block blockcrypto.Hash
 	ReqID uint64
+	Round int // echoed from the request
 	// Parts is the chunk count the block was stored with.
 	Parts  int
 	Chunks []retrievedChunk

@@ -10,6 +10,7 @@ import (
 	"icistrategy/internal/consensus"
 	"icistrategy/internal/simnet"
 	"icistrategy/internal/storage"
+	"icistrategy/internal/trace"
 )
 
 // Protocol errors surfaced through completion callbacks.
@@ -83,6 +84,11 @@ type leaderState struct {
 	rounds    int
 	committed bool
 	rejected  bool
+	// span covers this block's distribution on this leader: open at
+	// onPropose, closed at commit/reject (or coverage exhaustion). Chunk
+	// and commit messages carry its context so the whole fan-out traces
+	// under it.
+	span trace.Span
 }
 
 // fetchState tracks one async multi-message operation (retrieval,
@@ -110,6 +116,8 @@ type fetchState struct {
 	done     bool
 	onBlock  func(*chain.Block, error)
 	onChunk  func(error)
+	// span covers the whole fetch (all rounds); requests carry its context.
+	span trace.Span
 }
 
 // Node is one ICIStrategy participant. Nodes are driven entirely by the
@@ -143,13 +151,25 @@ type Node struct {
 
 	metrics NodeMetrics
 
+	// tr/pc are the System-wide structured tracer and protocol counters
+	// (tr may be nil = disabled; pc is never nil). rxSpan is the span
+	// context of the message currently being handled — the implicit parent
+	// for spans and sends made from inside HandleMessage. The simulator is
+	// single-threaded, so a plain field is safe.
+	tr     *trace.Tracer
+	pc     *protoCounters
+	rxSpan trace.SpanID
+
 	// committedHeights counts blocks this node has finalized, for tests
 	// and throughput accounting.
 	committed int
 }
 
 // newNode wires a node; System owns construction.
-func newNode(id simnet.NodeID, ci *clusterInfo, key blockcrypto.KeyPair, replication int, registry func(simnet.NodeID) []byte) *Node {
+func newNode(id simnet.NodeID, ci *clusterInfo, key blockcrypto.KeyPair, replication int, registry func(simnet.NodeID) []byte, tr *trace.Tracer, pc *protoCounters) *Node {
+	if pc == nil {
+		pc = newProtoCounters(nil)
+	}
 	return &Node{
 		id:            id,
 		cluster:       ci,
@@ -164,6 +184,8 @@ func newNode(id simnet.NodeID, ci *clusterInfo, key blockcrypto.KeyPair, replica
 		commits:       make(map[blockcrypto.Hash]commitMsg),
 		fetches:       make(map[uint64]*fetchState),
 		txQueries:     make(map[uint64]*txQueryState),
+		tr:            tr,
+		pc:            pc,
 	}
 }
 
@@ -188,6 +210,11 @@ func (n *Node) SetBehavior(b Behavior) { n.behavior = b }
 
 // HandleMessage implements simnet.Handler.
 func (n *Node) HandleMessage(net *simnet.Network, msg simnet.Message) {
+	// The incoming message's span context becomes the implicit parent for
+	// everything this handler does (spans it opens, messages it sends).
+	prev := n.rxSpan
+	n.rxSpan = msg.Span
+	defer func() { n.rxSpan = prev }()
 	switch msg.Kind {
 	case KindPropose:
 		if m, ok := msg.Payload.(proposeMsg); ok {
@@ -289,8 +316,17 @@ func (n *Node) onPropose(net *simnet.Network, m proposeMsg) {
 		assigned: make([]map[simnet.NodeID]bool, parts),
 		ranking:  make([][]simnet.NodeID, parts),
 		nextCand: make([]int, parts),
+		span:     n.tr.Start(n.rxSpan, "distribute", "distribute", int64(n.id)),
 	}
 	n.leading[hash] = st
+	n.pc.proposals.Inc()
+	st.span.AddBytes(int64(b.BodySize()))
+	table.Instrument(consensus.VoteObserver{
+		Tracer: n.tr,
+		Parent: st.span.Context(),
+		Node:   int64(n.id),
+		Votes:  n.pc.votes, Equivocations: n.pc.equivocations, Decisions: n.pc.decisions,
+	})
 
 	txStart := 0
 	for idx := 0; idx < parts; idx++ {
@@ -329,7 +365,7 @@ func (n *Node) onPropose(net *simnet.Network, m proposeMsg) {
 		st.nextCand[idx] = n.replication
 		for _, o := range ranked[:n.replication] {
 			st.assigned[idx][o] = true
-			n.sendChunk(net, o, payload)
+			n.sendChunk(net, o, payload, st.span.Context())
 		}
 		txStart += cnt
 	}
@@ -337,15 +373,19 @@ func (n *Node) onPropose(net *simnet.Network, m proposeMsg) {
 }
 
 // sendChunk delivers a chunk to one member (locally when the leader owns
-// it).
-func (n *Node) sendChunk(net *simnet.Network, to simnet.NodeID, payload chunkPayload) {
+// it), under the distribution span.
+func (n *Node) sendChunk(net *simnet.Network, to simnet.NodeID, payload chunkPayload, span trace.SpanID) {
+	n.pc.chunksSent.Inc()
 	if to == n.id {
+		prev := n.rxSpan
+		n.rxSpan = span
 		n.onChunk(net, n.id, payload)
+		n.rxSpan = prev
 		return
 	}
 	_ = net.Send(simnet.Message{
 		From: n.id, To: to, Kind: KindChunk,
-		Size: payload.wireSize(), Payload: payload,
+		Size: payload.wireSize(), Payload: payload, Span: span,
 	})
 }
 
@@ -358,7 +398,10 @@ func (n *Node) coverageCheck(net *simnet.Network, block blockcrypto.Hash) {
 	}
 	st.rounds++
 	if st.rounds > len(n.cluster.members) {
-		return // candidates exhausted; the block stays uncommitted here
+		// Candidates exhausted; the block stays uncommitted here.
+		st.span.SetErr(errors.New("coverage exhausted"))
+		st.span.End()
+		return
 	}
 	for _, idx := range st.table.Uncovered() {
 		// First re-send the chunk to assignees that never voted: either the
@@ -369,7 +412,7 @@ func (n *Node) coverageCheck(net *simnet.Network, block blockcrypto.Hash) {
 		for _, m := range st.ranking[idx][:min(st.nextCand[idx], len(st.ranking[idx]))] {
 			if st.assigned[idx][m] && !st.table.HasVoted(m, idx) {
 				n.metrics.ChunkResends.Inc()
-				n.sendChunk(net, m, st.payloads[idx])
+				n.sendChunk(net, m, st.payloads[idx], st.span.Context())
 			}
 		}
 		n.reassignChunk(net, st, idx)
@@ -386,7 +429,7 @@ func (n *Node) reassignChunk(net *simnet.Network, st *leaderState, idx int) {
 			continue
 		}
 		st.assigned[idx][cand] = true
-		n.sendChunk(net, cand, st.payloads[idx])
+		n.sendChunk(net, cand, st.payloads[idx], st.span.Context())
 		return
 	}
 }
@@ -423,10 +466,20 @@ func (n *Node) onChunk(net *simnet.Network, leader simnet.NodeID, c chunkPayload
 	hash := c.Header.Hash()
 	if n.hasChunkData(hash, c.PartIdx) {
 		n.metrics.DuplicateChunks.Inc()
-		n.voteChunk(net, leader, hash, c.PartIdx, true)
+		n.voteChunk(net, leader, hash, c.PartIdx, true, n.rxSpan)
 		return
 	}
+	sp := n.tr.Start(n.rxSpan, "verify", fmt.Sprintf("verify[%d]", c.PartIdx), int64(n.id))
+	sp.AddBytes(int64(c.dataBytes()))
 	approve := verifyChunk(c) == nil
+	n.pc.verified.Inc()
+	if approve {
+		n.pc.approvals.Inc()
+	} else {
+		n.pc.rejections.Inc()
+		sp.SetErr(errors.New("chunk rejected"))
+	}
+	sp.End()
 	if approve {
 		if n.store.HasHeader(hash) {
 			// Commit already happened (late reassignment): persist now.
@@ -442,7 +495,7 @@ func (n *Node) onChunk(net *simnet.Network, leader simnet.NodeID, c chunkPayload
 			n.pending[hash] = append(n.pending[hash], c)
 		}
 	}
-	n.voteChunk(net, leader, hash, c.PartIdx, approve)
+	n.voteChunk(net, leader, hash, c.PartIdx, approve, sp.Context())
 }
 
 // hasChunkData reports whether this node already holds chunk idx of block,
@@ -460,8 +513,9 @@ func (n *Node) hasChunkData(block blockcrypto.Hash, idx int) bool {
 }
 
 // voteChunk signs and delivers this member's verdict on one chunk,
-// applying the Byzantine behavior knobs.
-func (n *Node) voteChunk(net *simnet.Network, leader simnet.NodeID, block blockcrypto.Hash, idx int, approve bool) {
+// applying the Byzantine behavior knobs. The vote travels under span (the
+// verify span that produced the verdict).
+func (n *Node) voteChunk(net *simnet.Network, leader simnet.NodeID, block blockcrypto.Hash, idx int, approve bool, span trace.SpanID) {
 	if n.behavior.DropVotes {
 		return
 	}
@@ -470,12 +524,15 @@ func (n *Node) voteChunk(net *simnet.Network, leader simnet.NodeID, block blockc
 	}
 	vote := consensus.SignChunkVote(n.id, block, idx, approve, n.key)
 	if leader == n.id {
+		prev := n.rxSpan
+		n.rxSpan = span
 		n.onVote(net, vote)
+		n.rxSpan = prev
 		return
 	}
 	_ = net.Send(simnet.Message{
 		From: n.id, To: leader, Kind: KindVote,
-		Size: consensus.EncodedVoteSize, Payload: vote,
+		Size: consensus.EncodedVoteSize, Payload: vote, Span: span,
 	})
 }
 
@@ -542,7 +599,7 @@ func (n *Node) onGetCommit(net *simnet.Network, from simnet.NodeID, m getCommitM
 	}
 	_ = net.Send(simnet.Message{
 		From: n.id, To: from, Kind: KindCommit,
-		Size: cm.wireSize(), Payload: cm,
+		Size: cm.wireSize(), Payload: cm, Span: n.rxSpan,
 	})
 }
 
@@ -585,6 +642,9 @@ func (n *Node) onVote(net *simnet.Network, v consensus.Vote) {
 	switch decision {
 	case consensus.Rejected:
 		st.rejected = true
+		n.pc.rejects.Inc()
+		st.span.SetErr(errors.New("block rejected"))
+		st.span.End()
 	case consensus.Committed:
 		cert, ok := st.table.ApprovalCertificate(st.pool)
 		if !ok {
@@ -598,10 +658,14 @@ func (n *Node) onVote(net *simnet.Network, v consensus.Vote) {
 			}
 			_ = net.Send(simnet.Message{
 				From: n.id, To: m, Kind: KindCommit,
-				Size: msg.wireSize(), Payload: msg,
+				Size: msg.wireSize(), Payload: msg, Span: st.span.Context(),
 			})
 		}
+		prev := n.rxSpan
+		n.rxSpan = st.span.Context()
 		n.onCommit(msg)
+		n.rxSpan = prev
+		st.span.End()
 	}
 }
 
@@ -639,6 +703,8 @@ func (n *Node) onCommit(m commitMsg) {
 	// to probing members (bounded by sweepStale).
 	n.commits[hash] = m
 	n.committed++
+	n.pc.commits.Inc()
+	n.tr.Point(n.rxSpan, "distribute", "commit", int64(n.id), 0, "")
 	for _, c := range n.pending[hash] {
 		n.persistChunk(hash, c)
 	}
@@ -704,13 +770,13 @@ func (n *Node) onGetHeaders(net *simnet.Network, from simnet.NodeID, m getHeader
 	resp := headersMsg{Headers: out}
 	_ = net.Send(simnet.Message{
 		From: n.id, To: from, Kind: KindHeaders,
-		Size: resp.wireSize(), Payload: resp,
+		Size: resp.wireSize(), Payload: resp, Span: n.rxSpan,
 	})
 }
 
 func (n *Node) onGetChunk(net *simnet.Network, from simnet.NodeID, m getChunkMsg) {
 	id := storage.ChunkID{Block: m.Block, Index: m.Idx}
-	resp := chunkRespMsg{Block: m.Block, ReqID: m.ReqID}
+	resp := chunkRespMsg{Block: m.Block, ReqID: m.ReqID, Attempt: m.Attempt}
 	if chk, err := n.store.Chunk(id); err == nil {
 		meta := n.meta[id]
 		if txs, derr := chain.DecodeBody(chk.Data); derr == nil {
@@ -730,12 +796,12 @@ func (n *Node) onGetChunk(net *simnet.Network, from simnet.NodeID, m getChunkMsg
 	}
 	_ = net.Send(simnet.Message{
 		From: n.id, To: from, Kind: KindChunkResp,
-		Size: resp.wireSize(), Payload: resp,
+		Size: resp.wireSize(), Payload: resp, Span: n.rxSpan,
 	})
 }
 
 func (n *Node) onGetBlockChunks(net *simnet.Network, from simnet.NodeID, m getBlockChunksMsg) {
-	resp := blockChunksMsg{Block: m.Block, ReqID: m.ReqID}
+	resp := blockChunksMsg{Block: m.Block, ReqID: m.ReqID, Round: m.Round}
 	for _, idx := range n.store.ChunksForBlock(m.Block) {
 		id := storage.ChunkID{Block: m.Block, Index: idx}
 		chk, err := n.store.Chunk(id)
@@ -757,6 +823,6 @@ func (n *Node) onGetBlockChunks(net *simnet.Network, from simnet.NodeID, m getBl
 	}
 	_ = net.Send(simnet.Message{
 		From: n.id, To: from, Kind: KindBlockChunks,
-		Size: resp.wireSize(), Payload: resp,
+		Size: resp.wireSize(), Payload: resp, Span: n.rxSpan,
 	})
 }

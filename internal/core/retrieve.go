@@ -9,6 +9,7 @@ import (
 	"icistrategy/internal/chain"
 	"icistrategy/internal/simnet"
 	"icistrategy/internal/storage"
+	"icistrategy/internal/trace"
 )
 
 // RetrieveBlock reassembles a full historical block from the chunks held by
@@ -16,6 +17,12 @@ import (
 // or an error. This is the read path a light client or application would
 // use against an ICIStrategy cluster.
 func (n *Node) RetrieveBlock(net *simnet.Network, block blockcrypto.Hash, cb func(*chain.Block, error)) {
+	n.retrieveBlock(net, block, n.rxSpan, cb)
+}
+
+// retrieveBlock is RetrieveBlock under an explicit parent span (archival
+// retrieves blocks from inside its own span).
+func (n *Node) retrieveBlock(net *simnet.Network, block blockcrypto.Hash, parent trace.SpanID, cb func(*chain.Block, error)) {
 	if !n.store.HasHeader(block) {
 		cb(nil, fmt.Errorf("%w: %s", ErrUnknownBlock, block.Short()))
 		return
@@ -27,8 +34,10 @@ func (n *Node) RetrieveBlock(net *simnet.Network, block blockcrypto.Hash, cb fun
 		chunks:  make(map[int]retrievedChunk),
 		timeout: fetchTimeout,
 		onBlock: cb,
+		span:    n.tr.Start(parent, "retrieve", "retrieve", int64(n.id)),
 	}
 	n.fetches[req] = st
+	n.pc.retrievals.Inc()
 
 	// Seed with local chunks.
 	for _, idx := range n.store.ChunksForBlock(block) {
@@ -64,6 +73,7 @@ func (n *Node) broadcastFetch(net *simnet.Network, req uint64, st *fetchState) {
 	st.attempts++
 	st.waiting = 0
 	st.responded = make(map[simnet.NodeID]bool, len(n.cluster.members))
+	n.pc.retrieveRounds.Inc()
 	for _, m := range n.cluster.members {
 		if m == n.id {
 			continue
@@ -71,7 +81,8 @@ func (n *Node) broadcastFetch(net *simnet.Network, req uint64, st *fetchState) {
 		st.waiting++
 		_ = net.Send(simnet.Message{
 			From: n.id, To: m, Kind: KindGetBlockChunks,
-			Size: reqOverhead, Payload: getBlockChunksMsg{Block: st.block, ReqID: req},
+			Size: reqOverhead, Span: st.span.Context(),
+			Payload: getBlockChunksMsg{Block: st.block, ReqID: req, Round: st.attempts},
 		})
 	}
 	if st.waiting == 0 {
@@ -95,17 +106,30 @@ func (n *Node) broadcastFetch(net *simnet.Network, req uint64, st *fetchState) {
 }
 
 // onBlockChunks consumes one member's contribution to a retrieval.
+//
+// A response only participates in the current round's bookkeeping when its
+// Round tag matches: an answer to an earlier, timed-out round still merges
+// its chunk data (verified data speaks for itself, and it may complete the
+// block), but it must not mark the member as having answered the current
+// round — otherwise a slow round-1 answer arriving during round 2 can
+// drive waiting to zero with a member's round-2 answer still in flight and
+// fire the "every member answered" definitive failure prematurely.
 func (n *Node) onBlockChunks(net *simnet.Network, from simnet.NodeID, m blockChunksMsg) {
 	st, ok := n.fetches[m.ReqID]
 	if !ok || st.done || st.block != m.Block {
 		return
 	}
-	if st.responded[from] {
+	stale := m.Round != st.attempts
+	if stale {
+		n.metrics.StaleResponses.Inc()
+		n.pc.staleResponses.Inc()
+	} else if st.responded[from] {
 		n.metrics.DuplicateResponses.Inc()
 		return // duplicate delivery of a response already merged
+	} else {
+		st.responded[from] = true
+		st.waiting--
 	}
-	st.responded[from] = true
-	st.waiting--
 	if m.Parts > 0 && st.codedK == 0 {
 		st.parts = m.Parts
 	}
@@ -123,13 +147,13 @@ func (n *Node) onBlockChunks(net *simnet.Network, from simnet.NodeID, m blockChu
 	} else {
 		finished = n.tryFinishRetrieve(m.ReqID, st)
 	}
-	if finished {
+	if finished || stale {
 		return
 	}
 	if st.waiting == 0 {
-		// Every member answered and the block is still incomplete: the
-		// data is genuinely missing right now; retrying the same members
-		// cannot help.
+		// Every member answered the current round and the block is still
+		// incomplete: the data is genuinely missing right now; retrying the
+		// same members cannot help.
 		n.failFetch(m.ReqID, st, ErrRetrieveFailed)
 	}
 }
@@ -161,6 +185,7 @@ func (n *Node) tryFinishRetrieve(req uint64, st *fetchState) bool {
 	}
 	st.done = true
 	delete(n.fetches, req)
+	n.finishFetchSpan(st, int64(b.BodySize()), nil)
 	st.onBlock(b, nil)
 	return true
 }
@@ -171,12 +196,30 @@ func (n *Node) failFetch(req uint64, st *fetchState, err error) {
 	}
 	st.done = true
 	delete(n.fetches, req)
+	n.finishFetchSpan(st, 0, err)
 	if st.onBlock != nil {
 		st.onBlock(nil, err)
 	}
 	if st.onChunk != nil {
 		st.onChunk(err)
 	}
+}
+
+// finishFetchSpan closes a fetch's span and bumps the outcome counters on
+// every terminal path (success, definitive failure, final timeout).
+func (n *Node) finishFetchSpan(st *fetchState, bytes int64, err error) {
+	// Coded (archival) retrievals count under ici.archive.*, not here.
+	if st.onBlock != nil && st.codedK == 0 {
+		if err == nil {
+			n.pc.retrieveOK.Inc()
+			n.pc.retrievedBlocks.Add(bytes)
+		} else {
+			n.pc.retrieveFailed.Inc()
+		}
+	}
+	st.span.AddBytes(bytes)
+	st.span.SetErr(err)
+	st.span.End()
 }
 
 // --- bootstrap ---------------------------------------------------------------
@@ -192,6 +235,8 @@ type bootstrapState struct {
 	attempts    int
 	timeout     time.Duration
 	cb          func(error)
+	// span covers the whole join: header sync plus every owned-chunk fetch.
+	span trace.Span
 }
 
 // Bootstrap joins the cluster: fetch every header from sponsor, then fetch
@@ -200,7 +245,11 @@ type bootstrapState struct {
 // already be registered in the network and present in the cluster's member
 // list (System.JoinCluster arranges both).
 func (n *Node) Bootstrap(net *simnet.Network, sponsor simnet.NodeID, cb func(error)) {
-	n.bootstrap = &bootstrapState{sponsor: sponsor, timeout: fetchTimeout, cb: cb}
+	n.bootstrap = &bootstrapState{
+		sponsor: sponsor, timeout: fetchTimeout, cb: cb,
+		span: n.tr.Start(0, "bootstrap", "bootstrap", int64(n.id)),
+	}
+	n.pc.bootstraps.Inc()
 	n.requestHeaders(net)
 }
 
@@ -215,9 +264,10 @@ func (n *Node) requestHeaders(net *simnet.Network) {
 	}
 	bs.attempts++
 	attempt := bs.attempts
+	n.pc.headerRounds.Inc()
 	_ = net.Send(simnet.Message{
 		From: n.id, To: bs.sponsor, Kind: KindGetHeaders,
-		Size: reqOverhead, Payload: getHeadersMsg{FromHeight: 0},
+		Size: reqOverhead, Payload: getHeadersMsg{FromHeight: 0}, Span: bs.span.Context(),
 	})
 	net.After(bs.timeout, func() {
 		cur := n.bootstrap
@@ -297,7 +347,8 @@ func (n *Node) onHeaders(net *simnet.Network, m headersMsg) {
 				continue
 			}
 			bs.outstanding++
-			n.fetchChunk(net, block, idx, sources, func(err error) {
+			n.pc.bootstrapChunks.Inc()
+			n.fetchChunk(net, block, idx, sources, bs.span.Context(), "bootstrap", func(err error) {
 				if err != nil {
 					bs.failed = true
 				}
@@ -321,9 +372,15 @@ func (n *Node) finishBootstrap(err error) {
 	if n.bootstrap == nil || n.bootstrap.cb == nil {
 		return
 	}
-	cb := n.bootstrap.cb
-	n.bootstrap.cb = nil
+	bs := n.bootstrap
+	cb := bs.cb
+	bs.cb = nil
 	n.bootstrap = nil
+	if err != nil {
+		n.pc.bootstrapFailed.Inc()
+	}
+	bs.span.SetErr(err)
+	bs.span.End()
 	cb(err)
 }
 
@@ -339,8 +396,9 @@ func without(members []simnet.NodeID, id simnet.NodeID) []simnet.NodeID {
 }
 
 // fetchChunk requests one chunk, trying sources in order until one serves a
-// verifiable copy. cb fires once.
-func (n *Node) fetchChunk(net *simnet.Network, block blockcrypto.Hash, idx int, sources []simnet.NodeID, cb func(error)) {
+// verifiable copy. cb fires once. The fetch's span opens under parent with
+// the calling protocol's label (bootstrap or repair).
+func (n *Node) fetchChunk(net *simnet.Network, block blockcrypto.Hash, idx int, sources []simnet.NodeID, parent trace.SpanID, proto string, cb func(error)) {
 	id := storage.ChunkID{Block: block, Index: idx}
 	if n.store.HasChunk(id) {
 		cb(nil)
@@ -358,6 +416,7 @@ func (n *Node) fetchChunk(net *simnet.Network, block blockcrypto.Hash, idx int, 
 		sources: sources,
 		timeout: fetchTimeout,
 		onChunk: cb,
+		span:    n.tr.Start(parent, proto, fmt.Sprintf("fetch-chunk[%d]", idx), int64(n.id)),
 	}
 	n.fetches[req] = st
 	n.sendChunkReq(net, req, st)
@@ -371,7 +430,8 @@ func (n *Node) sendChunkReq(net *simnet.Network, req uint64, st *fetchState) {
 	attempt := st.attempts
 	_ = net.Send(simnet.Message{
 		From: n.id, To: st.sources[st.srcPos], Kind: KindGetChunk,
-		Size: reqOverhead, Payload: getChunkMsg{Block: st.block, Idx: st.idx, ReqID: req},
+		Size: reqOverhead, Span: st.span.Context(),
+		Payload: getChunkMsg{Block: st.block, Idx: st.idx, ReqID: req, Attempt: attempt},
 	})
 	net.After(st.timeout, func() {
 		cur, ok := n.fetches[req]
@@ -427,12 +487,21 @@ func (n *Node) onChunkResp(net *simnet.Network, from simnet.NodeID, m chunkRespM
 		delete(n.fetches, m.ReqID)
 		st.done = true
 		n.persistChunk(m.Block, m.Chunk)
+		n.finishFetchSpan(st, int64(m.Chunk.dataBytes()), nil)
 		st.onChunk(nil)
 		return
 	}
 	// A definitive negative (or invalid) answer only advances the fetch if
-	// it came from the source currently being waited on; stale answers from
-	// sources already skipped must not double-advance the ring.
+	// it answers the attempt currently being waited on. The source check
+	// alone is not enough: on a later pass over the ring the same source is
+	// asked again, and its stale negative from the earlier, timed-out
+	// attempt would double-advance the ring past it before the live answer
+	// arrives.
+	if m.Attempt != st.attempts {
+		n.metrics.StaleResponses.Inc()
+		n.pc.staleResponses.Inc()
+		return
+	}
 	if st.srcPos < len(st.sources) && from == st.sources[st.srcPos] {
 		n.advanceChunkSource(net, m.ReqID, st)
 		return
@@ -447,6 +516,8 @@ func (n *Node) onChunkResp(net *simnet.Network, from simnet.NodeID, m chunkRespM
 // the number of chunks that could not be recovered from inside the cluster
 // (0 means full intra-cluster integrity was restored).
 func (n *Node) RepairOwnership(net *simnet.Network, cb func(lost int)) {
+	n.pc.repairs.Inc()
+	span := n.tr.Start(0, "repair", "repair", int64(n.id))
 	type want struct {
 		block blockcrypto.Hash
 		idx   int
@@ -486,17 +557,24 @@ func (n *Node) RepairOwnership(net *simnet.Network, cb func(lost int)) {
 		}
 	}
 	if len(wants) == 0 {
+		span.End()
 		cb(0)
 		return
 	}
 	lost, outstanding := 0, len(wants)
+	n.pc.repairChunks.Add(int64(len(wants)))
 	for _, w := range wants {
-		n.fetchChunk(net, w.block, w.idx, w.srcs, func(err error) {
+		n.fetchChunk(net, w.block, w.idx, w.srcs, span.Context(), "repair", func(err error) {
 			if err != nil {
 				lost++
 			}
 			outstanding--
 			if outstanding == 0 {
+				if lost > 0 {
+					n.pc.repairLost.Add(int64(lost))
+					span.SetErr(fmt.Errorf("%d chunks lost", lost))
+				}
+				span.End()
 				cb(lost)
 			}
 		})

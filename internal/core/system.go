@@ -8,8 +8,10 @@ import (
 	"icistrategy/internal/blockcrypto"
 	"icistrategy/internal/chain"
 	"icistrategy/internal/cluster"
+	"icistrategy/internal/metrics"
 	"icistrategy/internal/simnet"
 	"icistrategy/internal/storage"
+	"icistrategy/internal/trace"
 )
 
 // System errors.
@@ -46,6 +48,13 @@ type Config struct {
 	// UplinkBytesPerSec, when positive, serializes each node's outgoing
 	// transmissions at this rate (see simnet.SetUplinkBandwidth).
 	UplinkBytesPerSec float64
+	// Tracer, when non-nil, records a span/event for every protocol phase
+	// and wire delivery. Nil (the default) leaves tracing disabled at
+	// near-zero cost.
+	Tracer *trace.Tracer
+	// Registry receives the protocol counters (ici.*, consensus.*). Nil
+	// means the System creates a private one, readable via Registry().
+	Registry *metrics.Registry
 }
 
 func (c *Config) fillDefaults() {
@@ -102,6 +111,9 @@ type System struct {
 	nodes    map[simnet.NodeID]*Node
 	keys     map[simnet.NodeID]blockcrypto.KeyPair
 	rng      *blockcrypto.RNG
+	tr       *trace.Tracer
+	reg      *metrics.Registry
+	pc       *protoCounters
 
 	tip    *chain.Header
 	height uint64
@@ -140,6 +152,11 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.UplinkBytesPerSec > 0 {
 		net.SetUplinkBandwidth(cfg.UplinkBytesPerSec)
 	}
+	net.SetTracer(cfg.Tracer)
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	s := &System{
 		cfg:    cfg,
 		net:    net,
@@ -148,6 +165,9 @@ func NewSystem(cfg Config) (*System, error) {
 		nodes:  make(map[simnet.NodeID]*Node, cfg.Nodes),
 		keys:   make(map[simnet.NodeID]blockcrypto.KeyPair, cfg.Nodes),
 		rng:    rng,
+		tr:     cfg.Tracer,
+		reg:    reg,
+		pc:     newProtoCounters(reg),
 		nextID: simnet.NodeID(cfg.Nodes),
 	}
 	s.clusters = make([]*clusterInfo, asg.NumClusters())
@@ -167,7 +187,7 @@ func NewSystem(cfg Config) (*System, error) {
 		id := simnet.NodeID(i)
 		key := blockcrypto.DeriveKeyPair(cfg.Seed, uint64(id))
 		s.keys[id] = key
-		node := newNode(id, s.clusters[asg.ClusterOf[i]], key, cfg.Replication, registry)
+		node := newNode(id, s.clusters[asg.ClusterOf[i]], key, cfg.Replication, registry, s.tr, s.pc)
 		s.nodes[id] = node
 		if err := s.net.AddNode(id, node, coords[i]); err != nil {
 			return nil, err
@@ -178,6 +198,12 @@ func NewSystem(cfg Config) (*System, error) {
 
 // Network exposes the underlying simulator (for time and traffic queries).
 func (s *System) Network() *simnet.Network { return s.net }
+
+// Registry returns the metrics registry holding the protocol counters.
+func (s *System) Registry() *metrics.Registry { return s.reg }
+
+// Tracer returns the system's tracer (nil when tracing is disabled).
+func (s *System) Tracer() *trace.Tracer { return s.tr }
 
 // Assignment returns the cluster assignment the system was built with.
 func (s *System) Assignment() *cluster.Assignment { return s.asg }
@@ -261,22 +287,35 @@ func (s *System) ProduceBlock(txs []*chain.Transaction) (*chain.Block, error) {
 		return nil, err
 	}
 	msg := proposeMsg{Block: b}
+	// One root span per produced block: every cluster's distribute span
+	// parents here, so a block's whole fan-out reads as one trace.
+	span := s.tr.Start(0, "distribute", "produce", int64(proposer))
+	span.AddBytes(int64(b.BodySize()))
 	for _, ci := range s.clusters {
 		leader, lerr := ci.leaderAt(b.Header.Height)
 		if lerr != nil {
+			span.SetErr(lerr)
+			span.End()
 			return nil, lerr
 		}
 		if leader == proposer {
-			s.nodes[proposer].onPropose(s.net, msg)
+			p := s.nodes[proposer]
+			prev := p.rxSpan
+			p.rxSpan = span.Context()
+			p.onPropose(s.net, msg)
+			p.rxSpan = prev
 			continue
 		}
 		if err := s.net.Send(simnet.Message{
 			From: proposer, To: leader, Kind: KindPropose,
-			Size: msg.wireSize(), Payload: msg,
+			Size: msg.wireSize(), Payload: msg, Span: span.Context(),
 		}); err != nil {
+			span.SetErr(err)
+			span.End()
 			return nil, err
 		}
 	}
+	span.End()
 	hdr := b.Header
 	s.tip = &hdr
 	s.height++
@@ -478,7 +517,7 @@ func (s *System) JoinCluster(c int, cb func(simnet.NodeID, error)) error {
 	s.nextID++
 	key := blockcrypto.DeriveKeyPair(s.cfg.Seed, uint64(id))
 	s.keys[id] = key
-	node := newNode(id, ci, key, s.cfg.Replication, s.PublicKey)
+	node := newNode(id, ci, key, s.cfg.Replication, s.PublicKey, s.tr, s.pc)
 	s.nodes[id] = node
 	// Place the newcomer near the cluster's first member — joining nodes
 	// pick the latency-closest cluster in practice.

@@ -36,14 +36,14 @@ func E10ClusteringAblation(p Params) (*metrics.Table, error) {
 			return nil, err
 		}
 		q := cluster.Evaluate(asg, coords)
-		sys, err := core.NewSystem(core.Config{
+		sys, err := core.NewSystem(p.observe(core.Config{
 			Nodes:       n,
 			Clusters:    m,
 			Replication: p.Replication,
 			Method:      method,
 			Seed:        p.Seed,
 			Coords:      coords,
-		})
+		}))
 		if err != nil {
 			return nil, err
 		}

@@ -121,12 +121,12 @@ func (p Params) committeePerNode(n, bodySize int) (float64, error) {
 // iciPerNode measures mean received bytes per node per block under the full
 // ICIStrategy protocol.
 func (p Params) iciPerNode(n int) (float64, error) {
-	sys, err := core.NewSystem(core.Config{
+	sys, err := core.NewSystem(p.observe(core.Config{
 		Nodes:       n,
 		Clusters:    n / p.ProtoClusterSize,
 		Replication: p.Replication,
 		Seed:        p.Seed,
-	})
+	}))
 	if err != nil {
 		return 0, err
 	}

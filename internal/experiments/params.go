@@ -10,7 +10,10 @@ package experiments
 import (
 	"icistrategy/internal/blockcrypto"
 	"icistrategy/internal/cluster"
+	"icistrategy/internal/core"
+	"icistrategy/internal/metrics"
 	"icistrategy/internal/simnet"
+	"icistrategy/internal/trace"
 	"icistrategy/internal/workload"
 )
 
@@ -40,6 +43,14 @@ type Params struct {
 
 	// Availability (E7).
 	AvailTrials int // Monte-Carlo trials per point
+
+	// Tracer, when non-nil, is threaded into every protocol-scale system the
+	// suite builds, so a whole icibench run can be traced end to end (E14
+	// always records into its own private recorder regardless).
+	Tracer *trace.Tracer
+	// Registry, when non-nil, accumulates the protocol counters of every
+	// protocol-scale system across the suite.
+	Registry *metrics.Registry
 }
 
 // Defaults returns the reconstructed paper configuration: n = 4096 nodes,
@@ -88,6 +99,14 @@ func Quick() Params {
 		ProtoClusterCount: []int{2, 4},
 		AvailTrials:       50,
 	}
+}
+
+// observe threads the suite-wide tracer and registry (if any) into one
+// protocol-scale system configuration.
+func (p Params) observe(cfg core.Config) core.Config {
+	cfg.Tracer = p.Tracer
+	cfg.Registry = p.Registry
+	return cfg
 }
 
 // protoGen builds the transaction generator every protocol-scale experiment

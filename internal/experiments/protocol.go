@@ -56,12 +56,12 @@ func E6VerificationLatency(p Params) (*metrics.Table, error) {
 		return nil, err
 	}
 	for _, c := range p.ProtoClusterSizes {
-		sys, err := core.NewSystem(core.Config{
+		sys, err := core.NewSystem(p.observe(core.Config{
 			Nodes:       c,
 			Clusters:    1,
 			Replication: p.Replication,
 			Seed:        p.Seed,
-		})
+		}))
 		if err != nil {
 			return nil, err
 		}
@@ -105,13 +105,13 @@ func E9Throughput(p Params) (*metrics.Table, error) {
 		if n/m < 2 {
 			continue
 		}
-		sys, err := core.NewSystem(core.Config{
+		sys, err := core.NewSystem(p.observe(core.Config{
 			Nodes:             n,
 			Clusters:          m,
 			Replication:       p.Replication,
 			Seed:              p.Seed,
 			UplinkBytesPerSec: 20e6 / 8,
-		})
+		}))
 		if err != nil {
 			return nil, err
 		}

@@ -29,6 +29,7 @@ func All() []Experiment {
 		{ID: "E11", Name: "coded archival tradeoff (extension)", Run: E11ArchivalTradeoff},
 		{ID: "E12", Name: "repair cost after departure (extension)", Run: E12RepairCost},
 		{ID: "E13", Name: "erasure coding throughput (extension)", Run: E13CodingThroughput},
+		{ID: "E14", Name: "per-phase trace breakdown (extension)", Run: E14TraceBreakdown},
 	}
 }
 

@@ -25,12 +25,12 @@ func E12RepairCost(p Params) (*metrics.Table, error) {
 			if r > c {
 				continue
 			}
-			sys, err := core.NewSystem(core.Config{
+			sys, err := core.NewSystem(p.observe(core.Config{
 				Nodes:       c,
 				Clusters:    1,
 				Replication: r,
 				Seed:        p.Seed + uint64(c*10+r),
-			})
+			}))
 			if err != nil {
 				return nil, err
 			}

@@ -8,35 +8,31 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 )
 
 // Counter is a monotonically increasing counter, safe for concurrent use.
-// The zero value is ready to use.
+// The zero value is ready to use. Counters sit on every traced hot path, so
+// Add is a single atomic add — no mutex.
 type Counter struct {
-	mu sync.Mutex
-	v  int64
+	v atomic.Int64
 }
 
-// Add increments the counter by delta (delta may not be negative).
+// Add increments the counter by delta. Counters are monotone: a negative
+// delta is a programming error and panics (it used to be silently ignored,
+// which hid caller bugs as mysteriously-low counts).
 func (c *Counter) Add(delta int64) {
 	if delta < 0 {
-		return
+		panic(fmt.Sprintf("metrics: negative delta %d on monotone Counter", delta))
 	}
-	c.mu.Lock()
-	c.v += delta
-	c.mu.Unlock()
+	c.v.Add(delta)
 }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
-}
+func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Histogram collects float64 samples and answers mean/percentile queries.
 // It stores raw samples (simulations here are small enough that exact
@@ -190,9 +186,15 @@ func NewTable(title string, columns ...string) *Table {
 	return &Table{Title: title, Columns: columns}
 }
 
-// AddRow appends one row; cells are formatted with %v.
+// AddRow appends one row; cells are formatted with %v. Rows are normalized
+// to the column count: extra cells are dropped and short rows are padded
+// with empty cells, so a mismatched AddRow renders (and rounds-trips
+// through CSV) instead of panicking in writeRow.
 func (t *Table) AddRow(cells ...any) {
-	row := make([]string, len(cells))
+	if len(t.Columns) > 0 && len(cells) > len(t.Columns) {
+		cells = cells[:len(t.Columns)]
+	}
+	row := make([]string, len(cells), max(len(cells), len(t.Columns)))
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
@@ -203,6 +205,9 @@ func (t *Table) AddRow(cells ...any) {
 			row[i] = fmt.Sprintf("%v", c)
 		}
 	}
+	for len(row) < len(t.Columns) {
+		row = append(row, "")
+	}
 	t.rows = append(t.rows, row)
 }
 
@@ -210,12 +215,14 @@ func (t *Table) AddRow(cells ...any) {
 func (t *Table) NumRows() int { return len(t.rows) }
 
 // trimFloat renders floats with up to 4 significant decimals, no trailing
-// zeros.
+// zeros. Values whose digits all trim away render as "0", never "-0": a
+// small negative like -0.00001 formats to "-0.0000" and must not leak a
+// minus sign into the table.
 func trimFloat(v float64) string {
 	s := fmt.Sprintf("%.4f", v)
 	s = strings.TrimRight(s, "0")
 	s = strings.TrimRight(s, ".")
-	if s == "" || s == "-" {
+	if s == "" || s == "-" || s == "-0" {
 		return "0"
 	}
 	return s

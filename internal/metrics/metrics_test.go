@@ -18,10 +18,22 @@ func TestCounterBasics(t *testing.T) {
 	if got := c.Value(); got != 5 {
 		t.Fatalf("Value() = %d, want 5", got)
 	}
-	c.Add(-10) // negative deltas ignored
-	if got := c.Value(); got != 5 {
-		t.Fatalf("Value() after negative Add = %d, want 5", got)
-	}
+}
+
+// Counters are monotone: a negative delta used to be silently ignored,
+// which hid caller bugs behind mysteriously-low counts. It must panic.
+func TestCounterNegativeDeltaPanics(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-10) did not panic")
+		}
+		if got := c.Value(); got != 5 {
+			t.Fatalf("Value() after rejected Add = %d, want 5", got)
+		}
+	}()
+	c.Add(-10)
 }
 
 func TestCounterConcurrent(t *testing.T) {
@@ -183,10 +195,108 @@ func TestTrimFloat(t *testing.T) {
 		{0.33333333, "0.3333"},
 		{0, "0"},
 		{-2.5, "-2.5"},
+		// Negative-zero regression family: values whose digits all trim
+		// away must render "0", never "-0".
+		{-0.00001, "0"},
+		{-0.00004, "0"},
+		{math.Copysign(0, -1), "0"},
+		{-0.0001, "-0.0001"},
+		{3, "3"},
+		{-3, "-3"},
 	}
 	for _, tc := range cases {
 		if got := trimFloat(tc.in); got != tc.want {
 			t.Fatalf("trimFloat(%v) = %q, want %q", tc.in, got, tc.want)
 		}
+	}
+}
+
+// Regression: AddRow with more cells than Columns used to pass width
+// computation (guarded) but panic in writeRow's unguarded widths[i]; rows
+// are now clamped to the column count, and short rows pad out.
+func TestTableRowWidthMismatch(t *testing.T) {
+	tbl := NewTable("mismatch", "a", "b")
+	tbl.AddRow("x", "y", "EXTRA") // one cell too many
+	tbl.AddRow("solo")            // one cell short
+	out := tbl.String()           // must not panic
+	if strings.Contains(out, "EXTRA") {
+		t.Fatalf("over-wide cell leaked into output:\n%s", out)
+	}
+	if !strings.Contains(out, "solo") {
+		t.Fatalf("short row lost:\n%s", out)
+	}
+	csv := tbl.CSV() // must not panic either
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV rows = %d, want 3:\n%s", len(lines), csv)
+	}
+	// Every CSV row has exactly the column count worth of cells.
+	for _, line := range lines {
+		if got := strings.Count(line, ","); got != 1 {
+			t.Fatalf("row %q has %d commas, want 1", line, got)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ici.retrieve.rounds").Add(3)
+	r.Counter("ici.retrieve.rounds").Inc() // same instrument by name
+	r.Counter("consensus.votes").Inc()
+	h := r.Histogram("net.latency")
+	h.Observe(10)
+	h.Observe(30)
+
+	if got := r.Counter("ici.retrieve.rounds").Value(); got != 4 {
+		t.Fatalf("shared counter = %d, want 4", got)
+	}
+	names := r.Names()
+	want := []string{"consensus.votes", "ici.retrieve.rounds", "net.latency"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+	snap := r.Snapshot()
+	if snap["ici.retrieve.rounds"] != 4 || snap["net.latency.mean"] != 20 || snap["net.latency.count"] != 2 {
+		t.Fatalf("Snapshot() = %v", snap)
+	}
+	js := r.JSON()
+	if !strings.Contains(js, `"consensus.votes": 1`) || !strings.Contains(js, `"net.latency.mean": 20`) {
+		t.Fatalf("JSON() = %s", js)
+	}
+	tbl := r.Table("metrics")
+	if tbl.NumRows() != len(snap) {
+		t.Fatalf("Table rows = %d, want %d", tbl.NumRows(), len(snap))
+	}
+}
+
+func TestRegistryNil(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc() // throwaway, must not panic
+	r.Histogram("y").Observe(1)
+	if r.Names() != nil || r.Snapshot() != nil {
+		t.Fatal("nil registry should enumerate nothing")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("shared").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("shared = %d, want 8000", got)
 	}
 }

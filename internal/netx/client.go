@@ -3,6 +3,7 @@ package netx
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"icistrategy/internal/chain"
 	"icistrategy/internal/core"
 	"icistrategy/internal/simnet"
+	"icistrategy/internal/trace"
 )
 
 // Client errors.
@@ -27,8 +29,10 @@ const dialTimeout = 5 * time.Second
 // Client is a connection to one storage server, safe for sequential use;
 // Cluster (below) multiplexes clients for whole-cluster operations.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu     sync.Mutex
+	conn   net.Conn
+	tr     *trace.Tracer
+	parent trace.SpanID
 }
 
 // Dial connects to a server.
@@ -52,20 +56,40 @@ func (c *Client) Close() error {
 	return err
 }
 
-// roundTrip sends one request and reads one response.
+// roundTrip sends one request and reads one response. With a tracer
+// installed, each round-trip is one span carrying the wire bytes it moved
+// in both directions.
 func (c *Client) roundTrip(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
 		return nil, ErrClosed
 	}
-	if err := writeMessage(c.conn, req); err != nil {
+	var rw io.ReadWriter = c.conn
+	var sp trace.Span
+	var cw *countConn
+	if c.tr.Enabled() {
+		cw = &countConn{rw: c.conn}
+		rw = cw
+		sp = c.tr.Start(c.parent, "netx", reqName(req), clientNode)
+	}
+	finish := func(err error) {
+		if cw != nil {
+			sp.AddBytes(cw.n)
+		}
+		sp.SetErr(err)
+		sp.End()
+	}
+	if err := writeMessage(rw, req); err != nil {
+		finish(err)
 		return nil, err
 	}
 	var resp Response
-	if err := readMessage(c.conn, &resp); err != nil {
+	if err := readMessage(rw, &resp); err != nil {
+		finish(err)
 		return nil, err
 	}
+	finish(nil)
 	return &resp, nil
 }
 
@@ -155,6 +179,7 @@ type Cluster struct {
 
 	mu      sync.Mutex
 	clients map[string]*Client
+	tr      *trace.Tracer
 }
 
 // NewCluster wires a cluster client over the given server addresses.
@@ -223,13 +248,22 @@ func (cl *Cluster) dropClient(addr string) {
 // every server, and each transaction-group chunk (with Merkle proofs) to
 // its rendezvous owners.
 func (cl *Cluster) DistributeBlock(b *chain.Block) error {
+	span := cl.tracer().Start(0, "distribute", "distribute-block", clientNode)
+	span.AddBytes(int64(b.BodySize()))
+	err := cl.distributeBlock(b, span.Context())
+	span.SetErr(err)
+	span.End()
+	return err
+}
+
+func (cl *Cluster) distributeBlock(b *chain.Block, parent trace.SpanID) error {
 	tree, err := chain.TxMerkleTree(b.Txs)
 	if err != nil {
 		return err
 	}
 	hdr := b.Header
 	for _, addr := range cl.addrs {
-		c, err := cl.client(addr)
+		c, err := cl.tracedClient(addr, parent)
 		if err != nil {
 			return err
 		}
@@ -270,7 +304,7 @@ func (cl *Cluster) DistributeBlock(b *chain.Block) error {
 		}
 		for _, o := range owners {
 			addr := cl.addrs[int(o)]
-			c, cerr := cl.client(addr)
+			c, cerr := cl.tracedClient(addr, parent)
 			if cerr != nil {
 				return cerr
 			}
@@ -288,12 +322,23 @@ func (cl *Cluster) DistributeBlock(b *chain.Block) error {
 // unreachable servers), reassembles, and verifies the Merkle root against
 // the expected header.
 func (cl *Cluster) RetrieveBlock(hdr chain.Header) (*chain.Block, error) {
+	span := cl.tracer().Start(0, "retrieve", "retrieve-block", clientNode)
+	b, err := cl.retrieveBlock(hdr, span.Context())
+	if b != nil {
+		span.AddBytes(int64(b.BodySize()))
+	}
+	span.SetErr(err)
+	span.End()
+	return b, err
+}
+
+func (cl *Cluster) retrieveBlock(hdr chain.Header, parent trace.SpanID) (*chain.Block, error) {
 	block := hdr.Hash()
 	found := make(map[int][]*chain.Transaction)
 	starts := make(map[int]int)
 	parts := 0
 	for _, addr := range cl.addrs {
-		c, err := cl.client(addr)
+		c, err := cl.tracedClient(addr, parent)
 		if err != nil {
 			continue // dead server: degraded read
 		}

@@ -1,0 +1,94 @@
+package netx
+
+import (
+	"io"
+
+	"icistrategy/internal/trace"
+)
+
+// clientNode is the trace node label for the client side of the TCP
+// protocol — clients are not cluster members and have no NodeID.
+const clientNode = -1
+
+// countConn counts the bytes crossing a connection in both directions, so a
+// round-trip span can report its true wire cost (frames included).
+type countConn struct {
+	rw io.ReadWriter
+	n  int64
+}
+
+func (c *countConn) Read(p []byte) (int, error) {
+	n, err := c.rw.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countConn) Write(p []byte) (int, error) {
+	n, err := c.rw.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// reqName labels a request union for tracing.
+func reqName(r *Request) string {
+	switch {
+	case r.PutHeader != nil:
+		return "put-header"
+	case r.PutChunk != nil:
+		return "put-chunk"
+	case r.GetHeaders != nil:
+		return "get-headers"
+	case r.GetChunk != nil:
+		return "get-chunk"
+	case r.GetBlockChunks != nil:
+		return "get-block-chunks"
+	case r.Stats != nil:
+		return "stats"
+	default:
+		return "unknown"
+	}
+}
+
+// SetTracer installs (or clears, with nil) the tracer used for this
+// client's round-trips; parent is the span every round-trip nests under.
+func (c *Client) SetTracer(tr *trace.Tracer, parent trace.SpanID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tr, c.parent = tr, parent
+}
+
+// SetTracer installs (or clears) the tracer for whole-cluster operations.
+// DistributeBlock and RetrieveBlock then open one span per call, with a
+// child span per TCP round-trip carrying the actual wire byte counts.
+func (cl *Cluster) SetTracer(tr *trace.Tracer) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.tr = tr
+}
+
+// tracer returns the cluster's tracer (nil-safe for use as *Tracer).
+func (cl *Cluster) tracer() *trace.Tracer {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.tr
+}
+
+// tracedClient returns a connection to addr with its round-trips parented
+// under parent.
+func (cl *Cluster) tracedClient(addr string, parent trace.SpanID) (*Client, error) {
+	c, err := cl.client(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.SetTracer(cl.tracer(), parent)
+	return c, nil
+}
+
+// SetTracer installs (or clears) the tracer for served requests: every
+// handled request emits one point event with its request-plus-response wire
+// size.
+func (s *Server) SetTracer(tr *trace.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tr = tr
+}

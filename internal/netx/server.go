@@ -8,6 +8,7 @@ import (
 
 	"icistrategy/internal/chain"
 	"icistrategy/internal/storage"
+	"icistrategy/internal/trace"
 )
 
 // Server is one ICIStrategy storage node exposed over TCP. It owns a
@@ -22,6 +23,7 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+	tr     *trace.Tracer
 }
 
 type chunkSidecar struct {
@@ -107,14 +109,23 @@ func (s *Server) acceptLoop() {
 
 // serveConn handles request/response pairs until the client disconnects.
 func (s *Server) serveConn(conn net.Conn) {
+	s.mu.Lock()
+	tr := s.tr
+	s.mu.Unlock()
+	cw := &countConn{rw: conn}
+	var last int64
 	for {
 		var req Request
-		if err := readMessage(conn, &req); err != nil {
+		if err := readMessage(cw, &req); err != nil {
 			return // EOF or broken frame: drop the connection
 		}
 		resp := s.handle(&req)
-		if err := writeMessage(conn, resp); err != nil {
+		if err := writeMessage(cw, resp); err != nil {
 			return
+		}
+		if tr.Enabled() {
+			tr.Point(0, "netx", "serve:"+reqName(&req), clientNode, cw.n-last, resp.Err)
+			last = cw.n
 		}
 	}
 }

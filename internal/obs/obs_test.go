@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"icistrategy/internal/trace"
+)
+
+func parse(t *testing.T, args ...string) *Flags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return f
+}
+
+func TestSetupRejectsBadTraceMode(t *testing.T) {
+	f := parse(t, "-trace", "verbose")
+	if err := f.Setup(); err == nil {
+		t.Fatal("Setup accepted -trace verbose")
+	}
+}
+
+func TestDisabledByDefault(t *testing.T) {
+	f := parse(t)
+	if err := f.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Tracer() != nil {
+		t.Error("tracer should be nil (no-op) without -trace")
+	}
+	if f.Registry() == nil {
+		t.Error("registry must always exist")
+	}
+	if f.Events() != nil {
+		t.Error("no events without a ring")
+	}
+	var out strings.Builder
+	if err := f.Finish(&out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("Finish wrote output with everything disabled: %q", out.String())
+	}
+}
+
+func TestFinishWritesSummaryTreeAndMetrics(t *testing.T) {
+	f := parse(t, "-trace", "tree", "-metrics", "-")
+	if err := f.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	tr := f.Tracer()
+	if tr == nil {
+		t.Fatal("tracer must exist with -trace")
+	}
+	sp := tr.Start(0, "demo", "op", 1)
+	sp.AddBytes(100)
+	sp.End()
+	f.Registry().Counter("demo.ops").Inc()
+
+	if n := len(f.Events()); n == 0 {
+		t.Fatal("no events recorded")
+	}
+	var out strings.Builder
+	err := f.Finish(&out, func(events []trace.Event) string {
+		if len(events) == 0 {
+			t.Error("summarize called with no events")
+		}
+		return "SUMMARY-MARKER"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"SUMMARY-MARKER", "op", `"demo.ops": 1`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Finish output missing %q:\n%s", want, got)
+		}
+	}
+}

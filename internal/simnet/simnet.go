@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"icistrategy/internal/trace"
 )
 
 // NodeID identifies a simulated node.
@@ -35,6 +37,10 @@ type Message struct {
 	Kind    string
 	Size    int
 	Payload any
+	// Span is the trace-span context this message belongs to: the wire
+	// event it produces, and any spans the receiver opens while handling
+	// it, hang under this span. Zero means untraced.
+	Span trace.SpanID
 }
 
 // Handler consumes messages delivered to a node.
@@ -125,7 +131,23 @@ type Network struct {
 	// tracing/trace record the event trace when EnableTrace was called.
 	tracing bool
 	trace   []TraceEvent
+	// tracer, when non-nil, records one structured wire event per message
+	// delivery (and per drop), parented under the message's Span context.
+	tracer *trace.Tracer
 }
+
+// SetTracer attaches a structured tracer; every message delivery then emits
+// a "net" wire event under the message's span context. The tracer's clock
+// is pointed at the network's virtual clock, so recorded timestamps are
+// deterministic for a fixed seed.
+func (n *Network) SetTracer(tr *trace.Tracer) {
+	n.tracer = tr
+	tr.SetClock(n.Now)
+}
+
+// Tracer returns the attached structured tracer (nil when tracing is off —
+// a valid disabled tracer).
+func (n *Network) Tracer() *trace.Tracer { return n.tracer }
 
 // Partition splits the network: each slice of ids becomes one group, and
 // messages crossing group boundaries are silently dropped (counted as
@@ -268,29 +290,54 @@ func (n *Network) Send(msg Message) error {
 	// fault model does happens on the wire.
 	msg, extra, dup, dupExtra, dropped := n.applyFaults(msg)
 	if dropped {
+		n.spanEvent(msg, n.now, "lost")
 		return nil
 	}
-	n.schedule(depart+delay+extra, func() { n.deliver(msg) })
+	sentAt := n.now
+	n.schedule(depart+delay+extra, func() { n.deliver(msg, sentAt) })
 	if dup {
-		n.schedule(depart+delay+dupExtra, func() { n.deliver(msg) })
+		n.schedule(depart+delay+dupExtra, func() { n.deliver(msg, sentAt) })
 	}
 	return nil
 }
 
 // deliver lands one message on its receiver (the second half of Send,
-// shared with fault-injected duplicate copies).
-func (n *Network) deliver(msg Message) {
+// shared with fault-injected duplicate copies). sentAt is the virtual time
+// the sender handed the message to the network, kept for the wire-event
+// span so transit time is visible in traces.
+func (n *Network) deliver(msg Message, sentAt time.Duration) {
 	st := n.nodes[msg.To]
 	if st == nil || st.down || st.handler == nil || !n.reachable(msg.From, msg.To) {
 		n.dropped++
 		n.traceMsg("drop", msg)
+		n.spanEvent(msg, sentAt, "dropped")
 		return
 	}
 	st.traffic.BytesRecv += int64(msg.Size)
 	st.traffic.MsgsRecv++
 	n.delivered++
 	n.traceMsg("recv", msg)
+	n.spanEvent(msg, sentAt, "")
 	st.handler.HandleMessage(n, msg)
+}
+
+// spanEvent records one "net" wire event for a message under its span
+// context, spanning send→deliver in virtual time.
+func (n *Network) spanEvent(msg Message, sentAt time.Duration, errStr string) {
+	if !n.tracer.Enabled() {
+		return
+	}
+	n.tracer.Emit(trace.Event{
+		Parent: msg.Span,
+		Name:   msg.Kind,
+		Proto:  "net",
+		Node:   int64(msg.To),
+		Start:  sentAt,
+		End:    n.now,
+		Bytes:  int64(msg.Size),
+		Err:    errStr,
+		Point:  true,
+	})
 }
 
 // After schedules fn to run after d of virtual time.

@@ -1,0 +1,69 @@
+package trace
+
+import "sync"
+
+// Ring is a bounded recorder keeping the most recent events. The critical
+// section is a couple of stores, so concurrent emitters (the TCP path)
+// contend only briefly and the single-threaded simulator pays one
+// uncontended lock per event.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	full  bool
+	total uint64
+}
+
+// NewRing returns a recorder retaining the last capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record implements Recorder.
+func (r *Ring) Record(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Events returns the retained events oldest-first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total reports how many events were ever recorded, including those evicted
+// by wraparound — the gap versus len(Events()) tells a consumer whether the
+// ring was sized too small for the run.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Reset drops all retained events and the total counter.
+func (r *Ring) Reset() {
+	r.mu.Lock()
+	r.next = 0
+	r.full = false
+	r.total = 0
+	r.mu.Unlock()
+}
