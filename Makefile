@@ -1,0 +1,46 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; keep the two in sync.
+
+GO ?= go
+
+.PHONY: all build test race lint lint-selftest fmt vet bench sim
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The repo's own invariant suite: determinism, chunkalias, atomicmix,
+# metricname, spanbalance. See DESIGN.md "Static analysis" for the
+# annotation grammar. Exit 1 means findings; fix or annotate with
+# //icilint:allow analyzer(reason).
+lint:
+	$(GO) run ./cmd/icilint ./...
+
+# Prove the gate still bites: the determinism fixture is known-bad, so
+# icilint must exit non-zero on it.
+lint-selftest:
+	@if $(GO) run ./cmd/icilint ./internal/analysis/analyzers/testdata/src/core; then \
+		echo "icilint passed a known-bad fixture: the gate is broken" >&2; \
+		exit 1; \
+	else \
+		echo "lint-selftest ok: fixture still flagged"; \
+	fi
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run=NONE -bench 'Erasure' -benchtime 200ms .
+
+sim:
+	$(GO) run ./cmd/icisim -nodes 32 -clusters 4 -blocks 2 -trace summary

@@ -1,0 +1,171 @@
+// Command icilint is the repo's static-analysis gate: it runs the
+// internal/analysis/analyzers suite — five checkers, each encoding a bug
+// family a previous PR actually shipped — over the module and exits
+// non-zero on any finding, so CI blocks regressions of the determinism,
+// chunk-aliasing, atomic-access, metric-naming, and span-balance
+// invariants at review time instead of at 3am.
+//
+// Usage:
+//
+//	icilint [flags] [packages]
+//
+//	icilint ./...                    # whole module (the CI gate)
+//	icilint ./internal/core/...      # one subtree
+//	icilint -json ./...              # machine-readable findings for CI annotation
+//	icilint -list                    # the suite and what each analyzer polices
+//	icilint -allow FILE ./...        # extra suppression file (default .icilint-allow)
+//
+// Findings print as file:line:col: [analyzer] message. Suppression is via
+// source annotations — //icilint:allow analyzer(reason) — or the optional
+// suppression file; both grammars are documented in DESIGN.md. Exit codes:
+// 0 clean, 1 findings, 2 usage/load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"icistrategy/internal/analysis"
+	"icistrategy/internal/analysis/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main, factored for tests. Returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("icilint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (machine-readable diagnostics for CI)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	allowFile := fs.String("allow", "", "suppression file (default: .icilint-allow at the module root, if present)")
+	dir := fs.String("C", "", "change to this directory before running")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	suite := analyzers.All()
+	if *list {
+		for _, a := range suite {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, doc)
+		}
+		return 0
+	}
+	if *dir != "" {
+		if err := os.Chdir(*dir); err != nil {
+			fmt.Fprintln(stderr, "icilint:", err)
+			return 2
+		}
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, "icilint:", err)
+		return 2
+	}
+	loader, err := analysis.NewModuleLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "icilint:", err)
+		return 2
+	}
+	known := map[string]bool{}
+	for _, a := range suite {
+		known[a.Name] = true
+	}
+	sup, err := loadSuppressions(*allowFile, root, known)
+	if err != nil {
+		fmt.Fprintln(stderr, "icilint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(stderr, "icilint:", err)
+		return 2
+	}
+	var all []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, suite)
+		if err != nil {
+			fmt.Fprintln(stderr, "icilint:", err)
+			return 2
+		}
+		all = append(all, sup.Filter(diags)...)
+	}
+	relativize(all, root)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(stderr, "icilint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range all {
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Column, d.Analyzer, d.Message)
+		}
+	}
+	if len(all) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "icilint: %d finding(s)\n", len(all))
+		}
+		return 1
+	}
+	return 0
+}
+
+// loadSuppressions reads the explicit -allow file, or the default
+// .icilint-allow at the module root when present.
+func loadSuppressions(path, root string, known map[string]bool) (*analysis.Suppressions, error) {
+	if path == "" {
+		path = filepath.Join(root, ".icilint-allow")
+		if _, err := os.Stat(path); err != nil {
+			return nil, nil // optional default
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return analysis.ParseSuppressions(f, path, known)
+}
+
+// relativize rewrites absolute finding paths relative to the module root,
+// so output (and JSON consumed by CI annotators) is machine-independent.
+func relativize(diags []analysis.Diagnostic, root string) {
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+			diags[i].Pos.Filename = rel
+		}
+	}
+}
+
+// findModuleRoot walks up from the working directory to go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module under t.TempDir and returns
+// its root. Keys are slash-relative paths.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for rel, content := range files {
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// runIn invokes run with -C dir and restores the working directory after,
+// since -C chdirs the whole process.
+func runIn(t *testing.T, dir string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	orig, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(orig); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	var out, errBuf bytes.Buffer
+	code = run(append([]string{"-C", dir}, args...), &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+const violatingClock = `package core
+
+import "time"
+
+func Now() time.Time {
+	return time.Now()
+}
+`
+
+func TestRunReportsFindings(t *testing.T) {
+	root := writeModule(t, map[string]string{"core/clock.go": violatingClock})
+	code, stdout, stderr := runIn(t, root, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "core/clock.go:6:") || !strings.Contains(stdout, "[determinism]") {
+		t.Fatalf("finding not reported with relative path and analyzer tag:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "1 finding(s)") {
+		t.Fatalf("summary missing from stderr: %s", stderr)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	root := writeModule(t, map[string]string{"core/clock.go": violatingClock})
+	code, stdout, _ := runIn(t, root, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, stdout)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "determinism" || diags[0].File != "core/clock.go" || diags[0].Line != 6 {
+		t.Fatalf("unexpected diagnostics: %+v", diags)
+	}
+}
+
+func TestRunJSONCleanIsEmptyArray(t *testing.T) {
+	root := writeModule(t, map[string]string{"util/util.go": "package util\n\nfunc Id(x int) int { return x }\n"})
+	code, stdout, stderr := runIn(t, root, "-json", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Fatalf("clean -json run must emit an empty array, got: %q", stdout)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"determinism", "chunkalias", "atomicmix", "metricname", "spanbalance"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list omits %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunAllowAnnotationSuppresses(t *testing.T) {
+	annotated := strings.Replace(violatingClock,
+		"return time.Now()",
+		"return time.Now() //icilint:allow determinism(boundary clock for callers outside the simulation)", 1)
+	root := writeModule(t, map[string]string{"core/clock.go": annotated})
+	code, stdout, stderr := runIn(t, root, "./...")
+	if code != 0 {
+		t.Fatalf("annotated violation still reported: exit=%d\n%s%s", code, stdout, stderr)
+	}
+}
+
+func TestRunSuppressionFileDefault(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"core/clock.go":  violatingClock,
+		".icilint-allow": "core/clock.go determinism # vendored fixture\n",
+	})
+	code, stdout, stderr := runIn(t, root, "./...")
+	if code != 0 {
+		t.Fatalf(".icilint-allow entry not honored: exit=%d\n%s%s", code, stdout, stderr)
+	}
+}
+
+func TestRunSuppressionFileUnknownAnalyzer(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"core/clock.go":  violatingClock,
+		".icilint-allow": "core/clock.go determinsm\n",
+	})
+	code, _, stderr := runIn(t, root, "./...")
+	if code != 2 {
+		t.Fatalf("typo'd suppression must be a load failure: exit=%d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, `"determinsm"`) {
+		t.Fatalf("stderr should name the unknown analyzer: %s", stderr)
+	}
+}
+
+func TestRunExplicitAllowFlag(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"core/clock.go": violatingClock,
+		"baseline.txt":  "core/* *\n",
+	})
+	code, stdout, stderr := runIn(t, root, "-allow", "baseline.txt", "./...")
+	if code != 0 {
+		t.Fatalf("-allow file not honored: exit=%d\n%s%s", code, stdout, stderr)
+	}
+}

@@ -1,0 +1,143 @@
+// Package analysis is the repo's static-analysis framework: a small,
+// dependency-free re-statement of the golang.org/x/tools/go/analysis shape
+// (Analyzer, Pass, Diagnostic) plus the package loader, the
+// `//icilint:allow` annotation grammar, and the suppression-file format the
+// cmd/icilint driver consumes.
+//
+// The framework exists because the repo's last three PRs each shipped a bug
+// family that a repo-specific analyzer catches mechanically: chunk-slice
+// aliasing in storage.Store (PR 2), atomic/plain mixed Counter access and
+// cross-round retrieve bookkeeping corruption (PR 3), and wall-clock leaks
+// that break the "seeded runs produce byte-identical span forests"
+// guarantee. The analyzers themselves live in analysis/analyzers; each one
+// encodes exactly one of those historical bug families and carries
+// analysistest golden fixtures reproducing it.
+//
+// The x/tools module is deliberately not imported: everything here is built
+// on go/ast, go/types, and the stdlib source importer, so the suite builds
+// and runs offline with nothing beyond the Go toolchain.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one invariant checker: a name (the annotation
+// category), one-paragraph documentation, and the Run function applied to
+// each loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer in output, in `//icilint:allow Name(...)`
+	// annotations, and in suppression-file entries. Lower-case, no spaces.
+	Name string
+	// Doc is the human-readable description `icilint -list` prints: first
+	// line is the summary, the rest is detail.
+	Doc string
+	// Run inspects one type-checked package and reports findings via
+	// pass.Reportf. A returned error aborts the whole lint run (reserved for
+	// internal failures, not findings).
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	report    func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Column   int            `json:"column"`
+	Message  string         `json:"message"`
+}
+
+// String renders the go-vet-style one-liner.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// fill populates the flattened JSON position fields from Pos.
+func (d *Diagnostic) fill() {
+	d.File, d.Line, d.Column = d.Pos.Filename, d.Pos.Line, d.Pos.Column
+}
+
+// Run applies the analyzers to pkg, filters findings through the package's
+// `//icilint:allow` annotations, and returns the surviving diagnostics
+// sorted by position. Malformed or wrong-category annotations surface as
+// diagnostics of the pseudo-analyzer "icilint" so a misspelled allow can
+// never silently suppress anything.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzer %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	var allows []Allow
+	for _, f := range pkg.Files {
+		fileAllows, errs := ParseAllows(pkg.Fset, f, known)
+		allows = append(allows, fileAllows...)
+		diags = append(diags, errs...)
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != allowErrAnalyzer && suppressed(d, allows) {
+			continue
+		}
+		d.fill()
+		kept = append(kept, d)
+	}
+	sortDiagnostics(kept)
+	return kept, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

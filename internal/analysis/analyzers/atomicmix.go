@@ -1,0 +1,243 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"icistrategy/internal/analysis"
+)
+
+// AtomicMix encodes the PR-3 metrics.Counter bug family: a counter field
+// incremented through sync/atomic on one path and read (or written) with a
+// plain load on another, which raced under -race and silently lost updates
+// before that. It also flags lock-bearing values passed by value — copying
+// a struct that owns a sync.Mutex (or an atomic.* value) forks the lock
+// from the state it guards.
+var AtomicMix = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: `flag struct fields accessed both atomically and plainly, and lock-bearing values passed by value
+
+Historical bug (PR 3): metrics.Counter kept a plain int64 bumped with
+atomic.AddInt64 but read with a bare load; the racy read shipped, and the
+fix moved the field to atomic.Int64 so every access goes through the
+atomic API. This analyzer reports any field that has both an atomic access
+(sync/atomic call on its address, or an atomic.* method call) and a plain
+read/write in the same package, and any receiver/parameter/result passing
+a Mutex/WaitGroup/Once/Cond/atomic.* by value.`,
+	Run: runAtomicMix,
+}
+
+// fieldAccess accumulates how one struct field is touched in the package.
+type fieldAccess struct {
+	atomicPos []ast.Node // sites of atomic access
+	plainPos  []ast.Node // sites of plain access
+}
+
+func runAtomicMix(pass *analysis.Pass) error {
+	acc := map[*types.Var]*fieldAccess{}
+	get := func(f *types.Var) *fieldAccess {
+		fa := acc[f]
+		if fa == nil {
+			fa = &fieldAccess{}
+			acc[f] = fa
+		}
+		return fa
+	}
+
+	for _, f := range pass.Files {
+		var walk func(n ast.Node, parents []ast.Node) // manual walk keeps the parent path
+		visit := func(n ast.Node, parents []ast.Node) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return
+			}
+			fobj := selection.Obj().(*types.Var)
+			switch classifyFieldUse(pass.TypesInfo, sel, parents) {
+			case useAtomic:
+				get(fobj).atomicPos = append(get(fobj).atomicPos, sel)
+			case usePlain:
+				get(fobj).plainPos = append(get(fobj).plainPos, sel)
+			}
+		}
+		walk = func(n ast.Node, parents []ast.Node) {
+			visit(n, parents)
+			parents = append(parents, n)
+			ast.Inspect(n, func(c ast.Node) bool {
+				if c == nil || c == n {
+					return c == n
+				}
+				walk(c, parents)
+				return false
+			})
+		}
+		walk(f, nil)
+
+		// Lock-bearing values passed by value.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkByValueLocks(pass, fd)
+		}
+	}
+
+	for fobj, fa := range acc {
+		if len(fa.atomicPos) == 0 || len(fa.plainPos) == 0 {
+			continue
+		}
+		atomicAt := pass.Fset.Position(fa.atomicPos[0].Pos())
+		for _, p := range fa.plainPos {
+			pass.Reportf(p.Pos(),
+				"field %s is accessed atomically at %s but plainly here; every access must go through the atomic API (racy Counter, PR-3 family)",
+				fobj.Name(), atomicAt)
+		}
+	}
+	return nil
+}
+
+type fieldUse int
+
+const (
+	useNeutral fieldUse = iota
+	useAtomic
+	usePlain
+)
+
+// classifyFieldUse decides whether the selector `x.f` at the end of
+// parents is an atomic access, a plain read/write, or neutral (e.g. its
+// address escaping to a non-atomic callee, which is tracked by neither
+// side).
+func classifyFieldUse(info *types.Info, sel *ast.SelectorExpr, parents []ast.Node) fieldUse {
+	fobj := info.Selections[sel].Obj().(*types.Var)
+	atomicTyped := isAtomicType(fobj.Type())
+
+	// Walk outward: parents[len-1] is the immediate parent.
+	parent := func(i int) ast.Node {
+		idx := len(parents) - 1 - i
+		if idx < 0 {
+			return nil
+		}
+		return parents[idx]
+	}
+	p0 := parent(0)
+
+	// A selector that is merely the X part of a bigger selector (a.b in
+	// a.b.c) is traversal, not access — except an atomic-typed field whose
+	// method is being called, which is the atomic API in action.
+	if outer, ok := p0.(*ast.SelectorExpr); ok && outer.X == sel {
+		if atomicTyped {
+			if call, ok2 := parent(1).(*ast.CallExpr); ok2 && call.Fun == outer {
+				return useAtomic
+			}
+		}
+		return useNeutral
+	}
+
+	if atomicTyped {
+		// Any direct assignment or copy of the atomic value is plain.
+		switch pn := p0.(type) {
+		case *ast.AssignStmt:
+			return usePlain // copying or overwriting the atomic value
+		case *ast.UnaryExpr:
+			if pn.Op.String() == "&" {
+				return useNeutral // &c.v passed along; ownership unclear
+			}
+			return usePlain
+		case *ast.CallExpr, *ast.KeyValueExpr, *ast.CompositeLit, *ast.ReturnStmt:
+			return usePlain // the value is copied out
+		}
+		return useNeutral
+	}
+
+	// Plain-typed field: atomic when &x.f feeds a sync/atomic call.
+	if un, ok := p0.(*ast.UnaryExpr); ok && un.Op.String() == "&" && un.X == sel {
+		if call, ok := parent(1).(*ast.CallExpr); ok {
+			if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+				return useAtomic
+			}
+		}
+		return useNeutral // address escapes; can't tell
+	}
+	return usePlain
+}
+
+// isAtomicType reports whether t is one of sync/atomic's value types.
+func isAtomicType(t types.Type) bool {
+	n := namedOrNil(t)
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// --- locks by value ----------------------------------------------------------
+
+func checkByValueLocks(pass *analysis.Pass, fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypesInfo.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if path := lockPath(t, nil); path != nil {
+				pass.Reportf(field.Pos(),
+					"%s passes %s by value; copying it forks the %s from the state it guards — use a pointer",
+					what, t.String(), pathString(path))
+			}
+		}
+	}
+	check(fd.Recv, "method receiver")
+	check(fd.Type.Params, "parameter")
+	check(fd.Type.Results, "result")
+}
+
+// lockPath returns the field path to a copy-hostile sync primitive inside
+// t (passed by value), or nil. Pointers stop the search.
+func lockPath(t types.Type, seen []types.Type) []string {
+	for _, s := range seen {
+		if types.Identical(s, t) {
+			return nil
+		}
+	}
+	seen = append(seen, t)
+	// A pointer to a lock-bearing type is the correct way to pass one.
+	if _, ok := t.Underlying().(*types.Pointer); ok {
+		return nil
+	}
+	if n, ok := types.Unalias(t).(*types.Named); ok && n.Obj().Pkg() != nil {
+		switch n.Obj().Pkg().Path() {
+		case "sync":
+			switch n.Obj().Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+				return []string{n.Obj().Name()}
+			}
+		case "sync/atomic":
+			return []string{n.Obj().Name()}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if sub := lockPath(f.Type(), seen); sub != nil {
+				return append([]string{f.Name()}, sub...)
+			}
+		}
+	case *types.Array:
+		return lockPath(u.Elem(), seen)
+	}
+	return nil
+}
+
+func pathString(path []string) string {
+	if len(path) == 1 {
+		return path[0]
+	}
+	return fmt.Sprintf("%s (via %v)", path[len(path)-1], path[:len(path)-1])
+}

@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"icistrategy/internal/analysis/analysistest"
+	"icistrategy/internal/analysis/analyzers"
+)
+
+// The counter fixture reproduces the PR-3 metrics.Counter race (atomic
+// writes, plain reads), the post-migration variant (atomic.Int64 assigned
+// wholesale), and the lock-by-value copy hazard.
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.AtomicMix, "counter")
+}

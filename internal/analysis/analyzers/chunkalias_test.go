@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"icistrategy/internal/analysis/analysistest"
+	"icistrategy/internal/analysis/analyzers"
+)
+
+// The chunkstore fixture reproduces the PR-2 storage.Store bug family:
+// copy-on-put missing on the store side (plain []byte parameters and
+// Chunk-style struct parameters) and copy-on-read missing on the read
+// side, next to the fixed shapes that must stay silent.
+func TestChunkAlias(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.ChunkAlias, "chunkstore")
+}

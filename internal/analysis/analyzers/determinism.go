@@ -1,0 +1,99 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strconv"
+
+	"icistrategy/internal/analysis"
+)
+
+// Determinism polices the repo's core reproducibility guarantee: a seeded
+// simulation run must be byte-identical across executions (the trace tests
+// pin "seeded runs produce byte-identical span forests"). Wall clocks,
+// process-global randomness, and scheduler-dependent channel selection all
+// break that, so in simulation-reachable packages time must come from the
+// injected virtual clock (simnet.Network.Now / trace.Tracer.SetClock) and
+// randomness from blockcrypto/rng seeded by the run.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: `forbid wall clocks, global math/rand, and multi-channel selects in simulation-reachable packages
+
+The simulator's determinism contract (seeded runs are byte-identical,
+including span forests and metric snapshots) dies the moment simulation
+code reads time.Now, the global math/rand source, or lets the runtime
+scheduler pick between ready channels. Historical bug: wall-clock span
+timestamps made "identical" seeded runs diff in CI. Use the injected
+virtual clock and blockcrypto/rng; genuinely wall-clock code (throughput
+measurement, the disabled-tracer fallback) carries
+//icilint:allow determinism(reason).`,
+	Run: runDeterminism,
+}
+
+// deterministicPkgs is the simulation-reachable set: every package whose
+// code can run under the discrete-event simulator's virtual clock.
+// (experiments drives the simulator and feeds the deterministic tables, so
+// it is held to the same bar; netx is the real-TCP path and is exempt.)
+var deterministicPkgs = map[string]bool{
+	"core":        true,
+	"simnet":      true,
+	"consensus":   true,
+	"cluster":     true,
+	"gossip":      true,
+	"trace":       true,
+	"experiments": true,
+}
+
+// wallClockFuncs are the time-package entry points that read the wall
+// clock or the runtime timer heap.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runDeterminism(pass *analysis.Pass) error {
+	if !deterministicPkgs[lastPathElem(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == "math/rand" || p == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s in simulation-reachable package %s: global randomness breaks seeded-run byte-identity; use blockcrypto/rng seeded from the run", p, pass.Pkg.Name())
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.TypesInfo, n)
+				if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && wallClockFuncs[fn.Name()] {
+					pass.Reportf(n.Pos(),
+						"time.%s in simulation-reachable package %s reads the wall clock; inject the virtual clock (simnet.Network.Now / Tracer.SetClock) or annotate icilint:allow determinism(reason)", fn.Name(), pass.Pkg.Name())
+				}
+			case *ast.SelectStmt:
+				comms := 0
+				for _, cl := range n.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+						comms++
+					}
+				}
+				if comms >= 2 {
+					pass.Reportf(n.Pos(),
+						"select over %d channels in simulation-reachable package %s: the runtime picks a ready case pseudo-randomly, breaking seeded-run determinism", comms, pass.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"icistrategy/internal/analysis/analysistest"
+	"icistrategy/internal/analysis/analyzers"
+)
+
+// The core fixture reproduces the historical seeded-determinism break
+// (wall-clock reads diffing "identical" seeded runs); netxish pins that
+// packages outside the simulation-reachable set are exempt.
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Determinism, "core", "netxish")
+}

@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"icistrategy/internal/analysis/analysistest"
+	"icistrategy/internal/analysis/analyzers"
+)
+
+// The metricuser fixture pins the metric-name contract: literal (or
+// const) names in the ici/consensus/simnet/netx namespaces; off-namespace
+// and runtime-assembled names are findings.
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.MetricName, "metricuser")
+}

@@ -1,0 +1,218 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"icistrategy/internal/analysis"
+)
+
+// SpanBalance keeps the tracing ledger honest: a trace.Span that is
+// started but never ended records nothing (End is what emits the event),
+// so the Ring recorder's per-phase summaries silently undercount the very
+// phase being measured. The analyzer checks, per function, that every
+// locally-held span from Tracer.Start is ended on all paths.
+//
+// The check is lexical, not a full CFG: a span is satisfied by (a) a
+// deferred End (directly or inside a deferred closure), or (b) an End call
+// textually preceding every return that follows the Start — which is
+// exactly how the repo's callback-style protocol code is written (the
+// `done`/`finish` closure calling End is declared right after the Start).
+// Spans stored into struct fields or composite literals hand their
+// lifecycle to another function and are skipped.
+var SpanBalance = &analysis.Analyzer{
+	Name: "spanbalance",
+	Doc: `require every locally-started trace span to be ended on all paths
+
+Historical bug family: an early error return skipped span.End(), so the
+phase's spans vanished from trace.Summarize and the per-phase breakdown
+undercounted exactly the failing runs it existed to explain. Hold spans
+like: sp := tr.Start(...); defer sp.End() — or declare the End-calling
+completion closure before any early return.`,
+	Run: runSpanBalance,
+}
+
+func runSpanBalance(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSpans(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isTracerStart reports whether call is trace.Tracer.Start (a method named
+// Start on a Tracer from a package named/pathed "trace" returning a Span).
+func isTracerStart(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Start" || fn.Pkg() == nil || !pkgPathMatches(fn.Pkg().Path(), "trace") {
+		return false
+	}
+	recv := recvNamed(fn)
+	return recv != nil && recv.Obj().Name() == "Tracer"
+}
+
+// isSpanEnd reports whether call is Span.End from the trace package.
+func isSpanEnd(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "End" || fn.Pkg() == nil || !pkgPathMatches(fn.Pkg().Path(), "trace") {
+		return false
+	}
+	recv := recvNamed(fn)
+	return recv != nil && recv.Obj().Name() == "Span"
+}
+
+// endTarget resolves the object a Span.End call ends (`sp.End()` -> sp),
+// or nil when the receiver is not a plain identifier.
+func endTarget(info *types.Info, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	base, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.ObjectOf(base)
+}
+
+type spanVar struct {
+	obj      types.Object
+	startPos ast.Node
+	deferred bool
+	endPos   []ast.Node // non-deferred End sites
+}
+
+func checkSpans(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	spans := map[types.Object]*spanVar{}
+
+	// Pass 1: find starts (tracked local spans and discarded starts) and
+	// every End, noting whether the End sits under a defer. Ends seen
+	// before their span's Start in source order (possible only through
+	// closures) buffer in pending and resolve afterwards.
+	type pendingEnd struct {
+		obj      types.Object
+		node     ast.Node
+		deferred bool
+	}
+	var pending []pendingEnd
+	var deferDepth int
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferDepth++
+			walk(n.Call)
+			deferDepth--
+			return
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isTracerStart(info, call) {
+				pass.Reportf(call.Pos(),
+					"trace span discarded at start; nothing will ever End it and the phase summary undercounts — assign it and defer End")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isTracerStart(info, call) || i >= len(n.Lhs) {
+					continue
+				}
+				if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil {
+						if _, exists := spans[obj]; !exists {
+							spans[obj] = &spanVar{obj: obj, startPos: call}
+						}
+						continue
+					}
+				}
+				// Span stored into a field/composite: lifecycle is owned
+				// elsewhere; skip (interprocedural).
+			}
+		case *ast.CallExpr:
+			if isSpanEnd(info, n) {
+				if obj := endTarget(info, n); obj != nil {
+					if sv, ok := spans[obj]; ok {
+						if deferDepth > 0 {
+							sv.deferred = true
+						} else {
+							sv.endPos = append(sv.endPos, n)
+						}
+					} else {
+						pending = append(pending, pendingEnd{obj: obj, node: n, deferred: deferDepth > 0})
+					}
+				}
+			}
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == nil || c == n {
+				return c == n
+			}
+			walk(c)
+			return false
+		})
+	}
+	walk(fd.Body)
+	for _, pe := range pending {
+		if sv, ok := spans[pe.obj]; ok {
+			if pe.deferred {
+				sv.deferred = true
+			} else {
+				sv.endPos = append(sv.endPos, pe.node)
+			}
+		}
+	}
+
+	if len(spans) == 0 {
+		return
+	}
+
+	// Pass 2: returns at the FuncDecl's own level (not inside nested
+	// function literals, which return from the closure instead).
+	var returns []*ast.ReturnStmt
+	var collectReturns func(n ast.Node)
+	collectReturns = func(n ast.Node) {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			returns = append(returns, ret)
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == nil || c == n {
+				return c == n
+			}
+			collectReturns(c)
+			return false
+		})
+	}
+	collectReturns(fd.Body)
+
+	for _, sv := range spans {
+		if sv.deferred {
+			continue
+		}
+		if len(sv.endPos) == 0 {
+			pass.Reportf(sv.startPos.Pos(),
+				"span %q is started but never ended in this function; its event is never recorded (per-phase summaries undercount) — defer %s.End()",
+				sv.obj.Name(), sv.obj.Name())
+			continue
+		}
+		firstEnd := sv.endPos[0].Pos()
+		for _, e := range sv.endPos[1:] {
+			if e.Pos() < firstEnd {
+				firstEnd = e.Pos()
+			}
+		}
+		for _, ret := range returns {
+			if ret.Pos() > sv.startPos.Pos() && ret.Pos() < firstEnd {
+				pass.Reportf(ret.Pos(),
+					"return leaves span %q (started at %s) unended on this path — call %s.End() before returning or defer it",
+					sv.obj.Name(), pass.Fset.Position(sv.startPos.Pos()), sv.obj.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"icistrategy/internal/analysis/analysistest"
+	"icistrategy/internal/analysis/analyzers"
+)
+
+// The spanuser fixture reproduces the span-undercount family (started-
+// never-ended, early return past End, span discarded at birth) next to
+// every legal shape the protocol code uses: defer, all-paths End, the
+// End-calling completion closure, deferred closures, and field-owned
+// spans whose lifecycle is another function's job.
+func TestSpanBalance(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.SpanBalance, "spanuser")
+}

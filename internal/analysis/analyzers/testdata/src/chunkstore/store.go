@@ -1,0 +1,107 @@
+// Package chunkstore is the chunkalias golden fixture: it reproduces the
+// PR-2 storage.Store bug family — copy-on-put missing on the store side,
+// copy-on-read missing on the read side — plus the fixed shapes that must
+// stay silent.
+package chunkstore
+
+// Store mirrors the []byte-parameter half of the bug.
+type Store struct {
+	chunks map[string][]byte
+	buf    []byte
+}
+
+// Put is the historical put bug verbatim: the caller's buffer is retained,
+// so the caller's next reuse of its scratch buffer corrupts stored state.
+func (s *Store) Put(key string, data []byte) {
+	s.chunks[key] = data // want `caller-owned`
+}
+
+// PutTail still aliases: slicing shares the backing array.
+func (s *Store) PutTail(key string, data []byte) {
+	s.chunks[key] = data[4:] // want `caller-owned`
+}
+
+// PutAlias hides the parameter behind a local; still flagged.
+func (s *Store) PutAlias(key string, data []byte) {
+	tmp := data
+	s.chunks[key] = tmp // want `caller-owned`
+}
+
+// PutLit embeds the parameter in a composite literal; still flagged.
+func (s *EStore) PutLit(key string, data []byte) {
+	s.m[key] = entry{data: data} // want `caller-owned`
+}
+
+// PutCopy is the PR-2 fix shape: copy-on-put.
+func (s *Store) PutCopy(key string, data []byte) {
+	s.chunks[key] = append([]byte(nil), data...)
+}
+
+// PutCopyVar copies through an explicit buffer.
+func (s *Store) PutCopyVar(key string, data []byte) {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	s.chunks[key] = buf
+}
+
+// PutSanitized re-points the parameter at a fresh allocation first.
+func (s *Store) PutSanitized(key string, data []byte) {
+	data = append([]byte(nil), data...)
+	s.chunks[key] = data
+}
+
+type entry struct{ data []byte }
+
+// EStore stores entry values.
+type EStore struct{ m map[string]entry }
+
+// Chunk mirrors storage.Chunk: a struct value whose []byte field rides in
+// by parameter.
+type Chunk struct {
+	ID   string
+	Data []byte
+}
+
+// ChunkStore mirrors the struct-parameter half of the PR-2 bug.
+type ChunkStore struct {
+	m map[string]Chunk
+}
+
+// Put stores the struct without copying its buffer — the exact historical
+// shape.
+func (s *ChunkStore) Put(c Chunk) {
+	s.m[c.ID] = c // want `caller-owned`
+}
+
+// PutField leaks just the field.
+func (s *ChunkStore) PutField(dst *Store, c Chunk) {
+	dst.buf = c.Data // want `caller-owned`
+}
+
+// PutCopyOnPut is the shipped fix: sanitize the field, then store.
+func (s *ChunkStore) PutCopyOnPut(c Chunk) {
+	c.Data = append([]byte(nil), c.Data...)
+	s.m[c.ID] = c
+}
+
+// --- read side ---------------------------------------------------------------
+
+// Raw leaks the internal buffer: a reader can corrupt stored state.
+func (s *Store) Raw() []byte {
+	return s.buf // want `copy-on-read`
+}
+
+// Tail leaks an interior slice the same way.
+func (s *Store) Tail() []byte {
+	return s.buf[8:] // want `copy-on-read`
+}
+
+// Copy is the fix shape.
+func (s *Store) Copy() []byte {
+	return append([]byte(nil), s.buf...)
+}
+
+// View is a deliberate borrowed view, annotated with its reason.
+func (s *Store) View() []byte {
+	return s.buf //icilint:allow chunkalias(fixture: documented borrowed view)
+}

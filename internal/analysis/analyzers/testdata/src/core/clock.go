@@ -1,0 +1,62 @@
+// Package core is the determinism golden fixture: it reproduces the
+// historical seeded-determinism break (wall-clock reads in
+// simulation-reachable code made "identical" seeded runs diff) in a
+// package whose name puts it in the simulation-reachable set.
+package core
+
+import (
+	"math/rand" // want `global randomness`
+	"time"
+)
+
+func produceTimestamp() int64 {
+	return time.Now().UnixNano() // want `wall clock`
+}
+
+func jitter() int {
+	return rand.Intn(10)
+}
+
+func backoff(start time.Time) time.Duration {
+	return time.Since(start) // want `wall clock`
+}
+
+func nap() {
+	time.Sleep(time.Millisecond) // want `wall clock`
+}
+
+func waitBoth(a, b chan int) int {
+	select { // want `pseudo-randomly`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// A single-channel receive is deterministic under the simulator's event
+// scheduler and stays legal.
+func waitOne(a chan int) int {
+	return <-a
+}
+
+// A select with one comm case and a default is a deterministic poll.
+func poll(a chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// Annotated wall-clock use is the documented escape hatch: the allow can
+// trail the offending line or sit on the line directly above it.
+func fallbackClock() time.Time {
+	return time.Now() //icilint:allow determinism(fixture: fallback wall clock for the real-TCP path)
+}
+
+func fallbackClockAbove() time.Time {
+	//icilint:allow determinism(fixture: fallback wall clock for the real-TCP path)
+	return time.Now()
+}

@@ -1,0 +1,14 @@
+// Package netxish is the determinism scope fixture: a package outside the
+// simulation-reachable set (like the real-TCP netx layer) may read the
+// wall clock freely, so nothing here is flagged.
+package netxish
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

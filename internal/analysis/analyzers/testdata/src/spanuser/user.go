@@ -1,0 +1,92 @@
+// Package spanuser is the spanbalance golden fixture: the historical
+// undercount family — spans started but never ended, or skipped by an
+// early return — next to every shape the repo's protocol code actually
+// uses (defer, all-paths End, the End-calling completion closure).
+package spanuser
+
+import (
+	"errors"
+
+	"trace"
+)
+
+var errFailed = errors.New("failed")
+
+// leak starts a span and never ends it: the event is never recorded.
+func leak(tr *trace.Tracer) {
+	sp := tr.Start(0, "retrieve", "op", 1) // want `never ended`
+	sp.SetErr(nil)
+}
+
+// earlyReturn ends the span on the happy path only.
+func earlyReturn(tr *trace.Tracer, fail bool) error {
+	sp := tr.Start(0, "retrieve", "op", 1)
+	if fail {
+		return errFailed // want `unended on this path`
+	}
+	sp.End()
+	return nil
+}
+
+// discarded drops the span on the floor at birth.
+func discarded(tr *trace.Tracer) {
+	tr.Start(0, "retrieve", "op", 1) // want `discarded`
+}
+
+// deferred is the canonical fix.
+func deferred(tr *trace.Tracer, fail bool) error {
+	sp := tr.Start(0, "retrieve", "op", 1)
+	defer sp.End()
+	if fail {
+		return errFailed
+	}
+	return nil
+}
+
+// allPaths ends explicitly on every path.
+func allPaths(tr *trace.Tracer, fail bool) error {
+	sp := tr.Start(0, "retrieve", "op", 1)
+	if fail {
+		sp.End()
+		return errFailed
+	}
+	sp.End()
+	return nil
+}
+
+// finishClosure is the repo's callback style: the completion closure that
+// calls End is declared before any early return.
+func finishClosure(tr *trace.Tracer, fail bool) error {
+	sp := tr.Start(0, "retrieve", "op", 1)
+	finish := func(err error) {
+		sp.SetErr(err)
+		sp.End()
+	}
+	if fail {
+		finish(errFailed)
+		return errFailed
+	}
+	finish(nil)
+	return nil
+}
+
+// deferredClosure ends inside a deferred function literal.
+func deferredClosure(tr *trace.Tracer, fail bool) error {
+	sp := tr.Start(0, "retrieve", "op", 1)
+	defer func() {
+		sp.End()
+	}()
+	if fail {
+		return errFailed
+	}
+	return nil
+}
+
+// holder hands the span's lifecycle to another owner; skipped by design.
+type holder struct {
+	span trace.Span
+}
+
+func fieldOwned(tr *trace.Tracer) *holder {
+	return &holder{span: tr.Start(0, "retrieve", "op", 1)}
+}

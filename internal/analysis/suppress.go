@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"path"
+	"strings"
+)
+
+// Suppression-file format (default path: .icilint-allow at the module
+// root). One entry per line:
+//
+//	# comment
+//	internal/netx/client.go  chunkalias   # trailing comments allowed
+//	internal/experiments/*   determinism
+//	cmd/icibench/main.go     *
+//
+// The first field is a slash-separated file pattern matched against the
+// end of the diagnostic's file path (path.Match globs apply per the whole
+// pattern); the second is an analyzer name or "*". Unknown analyzer names
+// are a hard error — a typo must never silently widen the allowlist.
+//
+// Annotations (`//icilint:allow`) are the preferred mechanism because they
+// sit next to the code and carry a reason; the file exists for cases where
+// the source cannot carry the annotation (generated files, vendored
+// fixtures) and for temporary baselines during a cleanup.
+
+// Suppressions is a parsed suppression file.
+type Suppressions struct {
+	entries []suppressEntry
+}
+
+type suppressEntry struct {
+	pattern  string
+	analyzer string
+	line     int
+}
+
+// ParseSuppressions reads the file format above. known maps valid analyzer
+// names; name is used in error messages.
+func ParseSuppressions(r io.Reader, name string, known map[string]bool) (*Suppressions, error) {
+	s := &Suppressions{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"<file-pattern> <analyzer>\", got %q", name, lineNo, strings.TrimSpace(line))
+		}
+		pat, analyzer := fields[0], fields[1]
+		if analyzer != "*" && !known[analyzer] {
+			return nil, fmt.Errorf("%s:%d: unknown analyzer %q (known: %s)", name, lineNo, analyzer, knownNames(known))
+		}
+		if _, err := path.Match(pat, "x"); err != nil {
+			return nil, fmt.Errorf("%s:%d: bad pattern %q: %v", name, lineNo, pat, err)
+		}
+		s.entries = append(s.entries, suppressEntry{pattern: pat, analyzer: analyzer, line: lineNo})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return s, nil
+}
+
+// Match reports whether a diagnostic in file (any path form) from the
+// given analyzer is suppressed.
+func (s *Suppressions) Match(file, analyzer string) bool {
+	if s == nil {
+		return false
+	}
+	file = strings.ReplaceAll(file, "\\", "/")
+	for _, e := range s.entries {
+		if e.analyzer != "*" && e.analyzer != analyzer {
+			continue
+		}
+		if suffixPatternMatch(e.pattern, file) {
+			return true
+		}
+	}
+	return false
+}
+
+// suffixPatternMatch matches pattern against the trailing path elements of
+// file, so entries stay stable regardless of whether diagnostics carry
+// absolute or repo-relative paths.
+func suffixPatternMatch(pattern, file string) bool {
+	pelems := strings.Split(pattern, "/")
+	felems := strings.Split(file, "/")
+	if len(pelems) > len(felems) {
+		return false
+	}
+	tail := felems[len(felems)-len(pelems):]
+	for i, pe := range pelems {
+		ok, err := path.Match(pe, tail[i])
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Filter drops suppressed diagnostics.
+func (s *Suppressions) Filter(diags []Diagnostic) []Diagnostic {
+	if s == nil || len(s.entries) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if s.Match(d.Pos.Filename, d.Analyzer) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func mustParseSuppressions(t *testing.T, text string) *Suppressions {
+	t.Helper()
+	s, err := ParseSuppressions(strings.NewReader(text), ".icilint-allow", testKnown)
+	if err != nil {
+		t.Fatalf("ParseSuppressions: %v", err)
+	}
+	return s
+}
+
+func TestSuppressionsMatch(t *testing.T) {
+	s := mustParseSuppressions(t, `
+# baseline during the netx cleanup
+internal/netx/client.go  chunkalias
+internal/experiments/*   determinism  # generated sweeps
+cmd/icibench/main.go     *
+`)
+	cases := []struct {
+		file, analyzer string
+		want           bool
+	}{
+		{"internal/netx/client.go", "chunkalias", true},
+		// Suffix matching: absolute paths hit the same entries.
+		{"/root/repo/internal/netx/client.go", "chunkalias", true},
+		{"internal/netx/client.go", "determinism", false},
+		{"internal/netx/server.go", "chunkalias", false},
+		{"internal/experiments/coding.go", "determinism", true},
+		{"internal/experiments/coding.go", "atomicmix", false},
+		{"cmd/icibench/main.go", "spanbalance", true},
+		{"cmd/icibench/main.go", "metricname", true},
+		// A bare filename must not match a deeper pattern.
+		{"client.go", "chunkalias", false},
+	}
+	for _, c := range cases {
+		if got := s.Match(c.file, c.analyzer); got != c.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", c.file, c.analyzer, got, c.want)
+		}
+	}
+}
+
+// A typo'd analyzer name in the suppression file must be a hard parse
+// error: a file-level allowlist is far blunter than an annotation, so a
+// silent no-op entry would hide that a whole file went unprotected (or
+// worse, that the author believed a category was baselined when it
+// wasn't).
+func TestSuppressionsUnknownAnalyzerIsError(t *testing.T) {
+	_, err := ParseSuppressions(strings.NewReader("internal/netx/client.go chunckalias\n"), "f", testKnown)
+	if err == nil {
+		t.Fatal("unknown analyzer accepted")
+	}
+	if !strings.Contains(err.Error(), `"chunckalias"`) || !strings.Contains(err.Error(), "f:1") {
+		t.Fatalf("error should carry file:line and the bad name: %v", err)
+	}
+}
+
+func TestSuppressionsMalformedLineIsError(t *testing.T) {
+	_, err := ParseSuppressions(strings.NewReader("just-a-path\n"), "f", testKnown)
+	if err == nil || !strings.Contains(err.Error(), "f:1") {
+		t.Fatalf("one-field line must error with position, got: %v", err)
+	}
+	_, err = ParseSuppressions(strings.NewReader("a b c\n"), "f", testKnown)
+	if err == nil {
+		t.Fatal("three-field line accepted")
+	}
+}
+
+func TestSuppressionsBadPatternIsError(t *testing.T) {
+	_, err := ParseSuppressions(strings.NewReader("internal/[bad chunkalias\n"), "f", testKnown)
+	if err == nil {
+		t.Fatal("unparsable glob accepted")
+	}
+}
+
+func TestSuppressionsFilter(t *testing.T) {
+	s := mustParseSuppressions(t, "internal/experiments/* determinism\n")
+	diags := []Diagnostic{
+		{Analyzer: "determinism", Pos: token.Position{Filename: "internal/experiments/coding.go", Line: 10}},
+		{Analyzer: "chunkalias", Pos: token.Position{Filename: "internal/experiments/coding.go", Line: 11}},
+		{Analyzer: "determinism", Pos: token.Position{Filename: "internal/core/retrieve.go", Line: 12}},
+	}
+	kept := s.Filter(diags)
+	if len(kept) != 2 {
+		t.Fatalf("got %d diagnostics after filter, want 2: %+v", len(kept), kept)
+	}
+	if kept[0].Analyzer != "chunkalias" || kept[1].Pos.Filename != "internal/core/retrieve.go" {
+		t.Fatalf("wrong diagnostics survived: %+v", kept)
+	}
+}
+
+func TestNilSuppressions(t *testing.T) {
+	var s *Suppressions
+	if s.Match("any.go", "determinism") {
+		t.Fatal("nil Suppressions must match nothing")
+	}
+	diags := []Diagnostic{{Analyzer: "determinism"}}
+	if got := s.Filter(diags); len(got) != 1 {
+		t.Fatal("nil Suppressions must filter nothing")
+	}
+}

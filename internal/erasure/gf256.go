@@ -95,7 +95,10 @@ func newMatrix(rows, cols int) *matrix {
 
 func (m *matrix) at(r, c int) byte     { return m.data[r*m.cols+c] }
 func (m *matrix) set(r, c int, v byte) { m.data[r*m.cols+c] = v }
-func (m *matrix) row(r int) []byte     { return m.data[r*m.cols : (r+1)*m.cols] }
+
+// row returns a mutable view of row r; Gaussian elimination swaps and
+// scales rows in place through it, so the aliasing is the point.
+func (m *matrix) row(r int) []byte { return m.data[r*m.cols : (r+1)*m.cols] } //icilint:allow chunkalias(mutable row view for in-place elimination)
 
 // identity returns the n x n identity matrix.
 func identityMatrix(n int) *matrix {

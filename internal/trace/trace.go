@@ -88,8 +88,11 @@ func New(rec Recorder) *Tracer {
 		return nil
 	}
 	t := &Tracer{rec: rec}
-	start := time.Now()
-	t.clock.Store(func() time.Duration { return time.Since(start) })
+	// Wall time is only the fallback for the real-TCP path; the simulator
+	// immediately re-points the clock at virtual time via SetClock, which
+	// is what keeps seeded span forests byte-identical.
+	start := time.Now()                                              //icilint:allow determinism(default wall clock; simulator installs its virtual clock via SetClock)
+	t.clock.Store(func() time.Duration { return time.Since(start) }) //icilint:allow determinism(default wall clock; simulator installs its virtual clock via SetClock)
 	return t
 }
 
