@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-selftest fmt vet bench sim
+.PHONY: all build test race lint lint-selftest fmt vet bench bench-sim sim
 
 all: build test lint
 
@@ -41,6 +41,13 @@ vet:
 
 bench:
 	$(GO) test -run=NONE -bench 'Erasure' -benchtime 200ms .
+
+# Regenerate the simulation-engine throughput snapshot: overhauled engine
+# vs the frozen pre-overhaul baseline on the E4-style workload (DESIGN.md
+# "Event engine"). CI runs the same command at -quick scale with
+# -minspeedup 2 as the regression gate.
+bench-sim:
+	$(GO) run ./cmd/icibench -simbench BENCH_PR5.json
 
 sim:
 	$(GO) run ./cmd/icisim -nodes 32 -clusters 4 -blocks 2 -trace summary

@@ -4,13 +4,22 @@
 //
 // Usage:
 //
-//	icibench [-quick] [-run E3,E4] [-csv results/] [-seed 42]
+//	icibench [-quick] [-run E3,E4] [-csv results/] [-seed 42] [-parallel N]
+//
+// Experiments run as independent cells on a bounded worker pool
+// (-parallel N, default GOMAXPROCS); results are collected in registry
+// order, so the printed tables and CSV files are byte-identical to a
+// sequential (-parallel 1) run. Tracing forces -parallel 1: a single
+// suite-wide span recorder is only deterministic single-threaded.
 //
 // The -erasurebench FILE mode skips the experiment suite and instead writes
 // a JSON snapshot of the erasure hot-path throughput (encode MB/s for the
 // kernel and scalar paths, the speedup, reconstruction MB/s, allocation
-// counts). -minspeedup N makes it exit nonzero when the kernel/scalar
-// encode speedup falls below N — the CI regression gate.
+// counts). The -simbench FILE mode does the same for the simulation engine:
+// events/sec, allocs/event, and wall time of an E4-style flood+ack workload
+// on the overhauled engine versus the frozen pre-overhaul baseline.
+// -minspeedup N makes either bench mode exit nonzero when its headline
+// speedup falls below N — the CI regression gates.
 package main
 
 import (
@@ -24,7 +33,9 @@ import (
 	"time"
 
 	"icistrategy/internal/experiments"
+	"icistrategy/internal/metrics"
 	"icistrategy/internal/obs"
+	"icistrategy/internal/runner"
 	"icistrategy/internal/trace"
 )
 
@@ -41,8 +52,10 @@ func run(args []string) error {
 	only := fs.String("run", "", "comma-separated experiment IDs to run (default all), e.g. E1,E3")
 	csvDir := fs.String("csv", "", "directory to write per-experiment CSV files into")
 	seed := fs.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
+	parallel := fs.Int("parallel", 0, "experiment cells to run concurrently (0 = GOMAXPROCS; tracing forces 1)")
 	erasureBench := fs.String("erasurebench", "", "write an erasure hot-path throughput snapshot to this JSON file and exit")
-	minSpeedup := fs.Float64("minspeedup", 0, "with -erasurebench: fail unless kernel/scalar encode speedup reaches this factor")
+	simBench := fs.String("simbench", "", "write a simulation-engine throughput snapshot to this JSON file and exit")
+	minSpeedup := fs.Float64("minspeedup", 0, "with -erasurebench/-simbench: fail unless the headline speedup reaches this factor")
 	obsf := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +76,9 @@ func run(args []string) error {
 
 	if *erasureBench != "" {
 		return runErasureBench(*erasureBench, params, *quick, *minSpeedup)
+	}
+	if *simBench != "" {
+		return runSimBench(*simBench, params, *quick, *minSpeedup)
 	}
 
 	var selected []experiments.Experiment
@@ -85,17 +101,42 @@ func run(args []string) error {
 		}
 	}
 
-	for _, e := range selected {
-		start := time.Now()
-		tbl, err := e.Run(params)
-		if err != nil {
-			return fmt.Errorf("%s (%s): %w", e.ID, e.Name, err)
+	workers := *parallel
+	if obsf.Tracer() != nil && workers != 1 {
+		// One suite-wide span recorder means concurrent cells would
+		// interleave span IDs nondeterministically; sequential execution
+		// keeps the traced span forest byte-identical run to run.
+		if workers > 1 {
+			fmt.Fprintln(os.Stderr, "icibench: -trace forces -parallel 1")
 		}
-		fmt.Println(tbl.String())
-		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		workers = 1
+	}
+
+	// Each experiment is one cell: it derives all randomness from the
+	// root seed by stable labels, builds its own networks, and shares only
+	// the commutative metrics registry — so cells can run on the pool in
+	// any interleaving while the collected output stays in registry order.
+	cells := make([]runner.Cell, len(selected))
+	elapsed := make([]time.Duration, len(selected))
+	for i, e := range selected {
+		i, e := i, e
+		cells[i] = runner.Cell{Key: e.ID, Run: func() (*metrics.Table, error) {
+			start := time.Now()
+			tbl, err := e.Run(params)
+			elapsed[i] = time.Since(start)
+			return tbl, err
+		}}
+	}
+	for i, r := range runner.Run(cells, workers) {
+		e := selected[i]
+		if r.Err != nil {
+			return fmt.Errorf("%s (%s): %w", e.ID, e.Name, r.Err)
+		}
+		fmt.Println(r.Table.String())
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, elapsed[i].Round(time.Millisecond))
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, strings.ToLower(e.ID)+".csv")
-			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+			if err := os.WriteFile(path, []byte(r.Table.CSV()), 0o644); err != nil {
 				return fmt.Errorf("write %s: %w", path, err)
 			}
 		}
@@ -105,17 +146,47 @@ func run(args []string) error {
 	})
 }
 
+// benchEnv is the shared environment header of the JSON bench snapshots
+// (BENCH_PR2.json, BENCH_PR5.json).
+type benchEnv struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	Quick       bool   `json:"quick"`
+	Seed        uint64 `json:"seed"`
+}
+
+func currentBenchEnv(quick bool, seed uint64) benchEnv {
+	return benchEnv{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Quick:       quick,
+		Seed:        seed,
+	}
+}
+
+// writeBenchReport marshals a bench snapshot to path.
+func writeBenchReport(path string, report any) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
 // erasureBenchReport is the schema of BENCH_PR2.json: one measurement per
 // code shape at the configured block size, plus enough environment to read
 // the numbers in context.
 type erasureBenchReport struct {
-	GeneratedAt string                     `json:"generated_at"`
-	GoVersion   string                     `json:"go_version"`
-	GOARCH      string                     `json:"goarch"`
-	NumCPU      int                        `json:"num_cpu"`
-	Quick       bool                       `json:"quick"`
-	Seed        uint64                     `json:"seed"`
-	Results     []experiments.CodingResult `json:"results"`
+	benchEnv
+	Results []experiments.CodingResult `json:"results"`
 }
 
 // runErasureBench measures the erasure hot path, writes the JSON snapshot,
@@ -126,14 +197,7 @@ func runErasureBench(path string, params experiments.Params, quick bool, minSpee
 	if quick {
 		window = 50 * time.Millisecond
 	}
-	report := erasureBenchReport{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		GOARCH:      runtime.GOARCH,
-		NumCPU:      runtime.NumCPU(),
-		Quick:       quick,
-		Seed:        params.Seed,
-	}
+	report := erasureBenchReport{benchEnv: currentBenchEnv(quick, params.Seed)}
 	for _, shape := range experiments.CodingShapes(params) {
 		start := time.Now()
 		r, err := experiments.RunCodingBench(shape, int(params.BlockBody), params.Seed, window)
@@ -145,14 +209,9 @@ func runErasureBench(path string, params experiments.Params, quick bool, minSpee
 			shape.K, shape.M, r.PayloadBytes, r.EncodeMBps, r.EncodeScalarMBps, r.EncodeSpeedup,
 			r.ReconstructMBps, r.ReconstructColdMBps, time.Since(start).Round(time.Millisecond))
 	}
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
+	if err := writeBenchReport(path, report); err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		return fmt.Errorf("write %s: %w", path, err)
-	}
-	fmt.Printf("wrote %s\n", path)
 	if minSpeedup > 0 {
 		headline := report.Results[0]
 		if headline.EncodeSpeedup < minSpeedup {
@@ -161,6 +220,46 @@ func runErasureBench(path string, params experiments.Params, quick bool, minSpee
 				headline.EncodeMBps, headline.EncodeScalarMBps)
 		}
 		fmt.Printf("speedup gate passed: %.2fx >= %.2fx\n", headline.EncodeSpeedup, minSpeedup)
+	}
+	return nil
+}
+
+// simBenchReport is the schema of BENCH_PR5.json: one measurement per
+// network size, overhauled engine versus the frozen pre-overhaul baseline.
+type simBenchReport struct {
+	benchEnv
+	Results []experiments.SimBenchResult `json:"results"`
+}
+
+// runSimBench measures the event engine on the E4-style workload at each
+// sweep size, writes the JSON snapshot, and enforces the -minspeedup gate
+// against the headline (first, paper-scale) size.
+func runSimBench(path string, params experiments.Params, quick bool, minSpeedup float64) error {
+	report := simBenchReport{benchEnv: currentBenchEnv(quick, params.Seed)}
+	for _, n := range experiments.SimBenchSizes(quick) {
+		// Cells of the sweep get independent seeds derived from the root
+		// by their stable key, so adding a size never perturbs another.
+		seed := runner.CellSeed(params.Seed, fmt.Sprintf("simbench/n=%d", n))
+		r, err := experiments.RunSimBench(n, experiments.SimBenchRounds(n, quick), seed)
+		if err != nil {
+			return fmt.Errorf("simbench n=%d: %w", n, err)
+		}
+		report.Results = append(report.Results, r)
+		fmt.Printf("n=%d: %d events in %.2fs — %.0f events/s, %.2f allocs/event (baseline %.0f events/s, %.2f allocs/event) — %.1fx\n",
+			r.Nodes, r.Events, r.WallSeconds, r.EventsPerSec, r.AllocsPerEvent,
+			r.BaselineEventsPerSec, r.BaselineAllocsPerEvent, r.Speedup)
+	}
+	if err := writeBenchReport(path, report); err != nil {
+		return err
+	}
+	if minSpeedup > 0 {
+		headline := report.Results[0]
+		if headline.Speedup < minSpeedup {
+			return fmt.Errorf("engine speedup %.2fx below required %.2fx (n=%d: %.0f events/s vs baseline %.0f events/s)",
+				headline.Speedup, minSpeedup, headline.Nodes,
+				headline.EventsPerSec, headline.BaselineEventsPerSec)
+		}
+		fmt.Printf("speedup gate passed: %.2fx >= %.2fx\n", headline.Speedup, minSpeedup)
 	}
 	return nil
 }

@@ -78,3 +78,67 @@ func TestErasureBenchSpeedupGate(t *testing.T) {
 		t.Fatalf("trivial speedup gate failed: %v", err)
 	}
 }
+
+// TestParallelMatchesSequentialCSV runs the same experiment slice through
+// a 1-worker and a wide pool and requires byte-identical CSV output — the
+// determinism contract of the parallel runner, end to end through the CLI.
+func TestParallelMatchesSequentialCSV(t *testing.T) {
+	seqDir, parDir := t.TempDir(), t.TempDir()
+	if err := run([]string{"-quick", "-run", "E3,E4,E7", "-parallel", "1", "-csv", seqDir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-run", "E3,E4,E7", "-parallel", "8", "-csv", parDir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"e3.csv", "e4.csv", "e7.csv"} {
+		seq, err := os.ReadFile(filepath.Join(seqDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := os.ReadFile(filepath.Join(parDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(seq) != string(par) {
+			t.Fatalf("%s differs between -parallel 1 and -parallel 8", name)
+		}
+	}
+}
+
+func TestSimBenchWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-quick", "-simbench", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report simBenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(report.Results) != 2 {
+		t.Fatalf("got %d results, want 2 sweep sizes", len(report.Results))
+	}
+	for _, r := range report.Results {
+		if r.Events <= 0 || r.EventsPerSec <= 0 || r.BaselineEventsPerSec <= 0 || r.Speedup <= 0 {
+			t.Fatalf("degenerate measurement: %+v", r)
+		}
+		if r.AllocsPerEvent > 2 {
+			t.Fatalf("n=%d: %.2f allocs/event on the overhauled engine, want <= 2", r.Nodes, r.AllocsPerEvent)
+		}
+	}
+}
+
+// TestSimBenchSpeedupGate exercises both sides of -minspeedup in simbench
+// mode: an impossible threshold must fail, a trivial one must pass.
+func TestSimBenchSpeedupGate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-quick", "-simbench", path, "-minspeedup", "1e9"}); err == nil {
+		t.Fatal("impossible speedup gate passed")
+	}
+	if err := run([]string{"-quick", "-simbench", path, "-minspeedup", "0.0001"}); err != nil {
+		t.Fatalf("trivial speedup gate failed: %v", err)
+	}
+}

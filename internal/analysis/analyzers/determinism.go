@@ -2,6 +2,7 @@ package analyzers
 
 import (
 	"go/ast"
+	"go/types"
 	"strconv"
 
 	"icistrategy/internal/analysis"
@@ -25,14 +26,25 @@ scheduler pick between ready channels. Historical bug: wall-clock span
 timestamps made "identical" seeded runs diff in CI. Use the injected
 virtual clock and blockcrypto/rng; genuinely wall-clock code (throughput
 measurement, the disabled-tracer fallback) carries
-//icilint:allow determinism(reason).`,
+//icilint:allow determinism(reason).
+
+The parallel experiment runner adds a fourth hazard: deriving result
+order from goroutine completion order. A worker that appends to a slice
+captured from the enclosing scope records results in whatever order the
+scheduler finished them; the sanctioned pattern is an indexed write into
+a pre-sized slice (results[i] = ...), which makes result order the input
+order by construction. The analyzer flags captured-slice appends inside
+go statements in simulation-reachable packages.`,
 	Run: runDeterminism,
 }
 
 // deterministicPkgs is the simulation-reachable set: every package whose
 // code can run under the discrete-event simulator's virtual clock.
 // (experiments drives the simulator and feeds the deterministic tables, so
-// it is held to the same bar; netx is the real-TCP path and is exempt.)
+// it is held to the same bar; runner executes experiment cells on real
+// goroutines but its results must land in input order regardless of
+// completion order, so it is held to the same bar plus the
+// completion-order rule; netx is the real-TCP path and is exempt.)
 var deterministicPkgs = map[string]bool{
 	"core":        true,
 	"simnet":      true,
@@ -41,6 +53,7 @@ var deterministicPkgs = map[string]bool{
 	"gossip":      true,
 	"trace":       true,
 	"experiments": true,
+	"runner":      true,
 }
 
 // wallClockFuncs are the time-package entry points that read the wall
@@ -80,6 +93,10 @@ func runDeterminism(pass *analysis.Pass) error {
 					pass.Reportf(n.Pos(),
 						"time.%s in simulation-reachable package %s reads the wall clock; inject the virtual clock (simnet.Network.Now / Tracer.SetClock) or annotate icilint:allow determinism(reason)", fn.Name(), pass.Pkg.Name())
 				}
+			case *ast.GoStmt:
+				if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkCompletionOrderAppends(pass, fl)
+				}
 			case *ast.SelectStmt:
 				comms := 0
 				for _, cl := range n.Body.List {
@@ -96,4 +113,49 @@ func runDeterminism(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkCompletionOrderAppends walks the body of a function literal started
+// by a go statement and reports appends whose destination slice is captured
+// from the enclosing scope: such a slice collects results in goroutine
+// completion order, which the scheduler decides, not the seed. The
+// sanctioned alternative is an indexed write into a pre-sized slice
+// (results[i] = ...), which pins result order to input order no matter
+// which worker finishes first. Nested function literals are skipped here —
+// they are only hazardous if themselves launched with go, and the outer
+// Inspect visits every go statement.
+func checkCompletionOrderAppends(pass *analysis.Pass, fl *ast.FuncLit) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if _, nested := n.(*ast.FuncLit); nested {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); !builtin || id.Name != "append" {
+			return true
+		}
+		dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[dst]
+		if obj == nil {
+			return true
+		}
+		// Declared inside the goroutine's function literal (including its
+		// parameters) means the slice is goroutine-local and safe; anything
+		// else is shared state ordered by completion.
+		if obj.Pos() >= fl.Pos() && obj.Pos() <= fl.End() {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"append to captured slice %s inside a goroutine in simulation-reachable package %s orders results by completion, which the scheduler decides; write into an indexed slot (results[i] = ...) so result order is the input order", dst.Name, pass.Pkg.Name())
+		return true
+	})
 }

@@ -8,8 +8,10 @@ import (
 )
 
 // The core fixture reproduces the historical seeded-determinism break
-// (wall-clock reads diffing "identical" seeded runs); netxish pins that
+// (wall-clock reads diffing "identical" seeded runs); the runner fixture
+// pins the goroutine-completion-order rule (captured-slice appends in
+// goroutines are flagged, indexed writes are not); netxish pins that
 // packages outside the simulation-reachable set are exempt.
 func TestDeterminism(t *testing.T) {
-	analysistest.Run(t, "testdata", analyzers.Determinism, "core", "netxish")
+	analysistest.Run(t, "testdata", analyzers.Determinism, "core", "runner", "netxish")
 }

@@ -175,3 +175,22 @@ func TestE8SavingsBelowOne(t *testing.T) {
 		}
 	}
 }
+
+// BenchmarkSimWorkload drives the -simbench flood+ack workload through the
+// overhauled engine — the profile target for event-engine work.
+func BenchmarkSimWorkload(b *testing.B) {
+	eng, err := buildSimBenchNet(4096, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := simBenchRound(eng, 4096); err != nil {
+		b.Fatal(err) // warm-up: fill pool and intern table
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simBenchRound(eng, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// This file freezes the pre-overhaul event engine — closure-per-event
+// scheduling through container/heap, map-keyed node state, string-keyed
+// per-kind accounting — as BaselineNetwork. It is not used by any protocol
+// path; it exists so the simulation benchmark (cmd/icibench -simbench, CI
+// bench-smoke) can measure the overhauled engine against the design it
+// replaced inside one binary, the same way erasure keeps
+// EncodeScalarReference next to the vectorized kernels, and so the
+// differential tests can pin that both engines execute identical schedules.
+
+// BaselineHandler consumes messages delivered to a baseline node.
+type BaselineHandler func(net *BaselineNetwork, msg Message)
+
+type baselineNode struct {
+	id        NodeID
+	handler   BaselineHandler
+	coord     Coord
+	down      bool // never set; kept for the faithful liveness checks
+	traffic   TrafficStats
+	busyUntil time.Duration
+}
+
+type baselineEvent struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type baselineHeap []*baselineEvent
+
+func (h baselineHeap) Len() int { return len(h) }
+func (h baselineHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h baselineHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *baselineHeap) Push(x any)   { *h = append(*h, x.(*baselineEvent)) }
+func (h *baselineHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// BaselineNetwork is the reference engine. It implements the subset of the
+// Network surface the benchmark workload and differential tests drive:
+// AddNode, Send, After, Step/Run/RunUntilIdle, Now, Traffic accounting.
+// Fault injection, partitions, and tracing cannot be *configured* — but
+// their disabled-path checks are reproduced faithfully, because the
+// pre-overhaul engine paid them on every single send and delivery (the
+// chaos probe even copied the Message in and out unconditionally). Eliding
+// them would flatter the baseline and understate the measured speedup.
+type BaselineNetwork struct {
+	now       time.Duration
+	seq       uint64
+	events    baselineHeap
+	nodes     map[NodeID]*baselineNode
+	latency   LatencyModel
+	kindStats map[string]*KindStats
+	delivered int64
+	dropped   int64
+	uplinkBps float64
+	partition map[NodeID]int // never set; kept for the faithful reachable() probe
+	tracing   bool           // never set; kept for the faithful traceMsg() probe
+	trace     []TraceEvent
+	faultsOn  bool // never set; stands in for the pre-overhaul faults pointer
+	tracerOn  bool // never set; stands in for the pre-overhaul tracer pointer
+}
+
+// baselineApplyFaults reproduces the disabled fault probe of the
+// pre-overhaul Send path: the Message is copied in and back out even when
+// no fault plan exists, exactly as the original applyFaults did. noinline
+// because the original was far too large to inline — letting the compiler
+// collapse this stand-in would elide the copies the old engine really paid.
+//
+//go:noinline
+func (n *BaselineNetwork) baselineApplyFaults(msg Message) (out Message, extra time.Duration, dup bool, dupExtra time.Duration, dropped bool) {
+	out = msg
+	if !n.faultsOn {
+		return out, 0, false, 0, false
+	}
+	return out, 0, false, 0, false
+}
+
+// baselineSpanEvent reproduces the disabled structured-trace probe (the
+// original spanEvent took the Message by value and was never inlined).
+//
+//go:noinline
+func (n *BaselineNetwork) baselineSpanEvent(msg Message, sentAt time.Duration, errStr string) {
+	if !n.tracerOn {
+		return
+	}
+	_ = msg
+	_ = sentAt
+	_ = errStr
+}
+
+// baselineTraceMsg reproduces the disabled event-trace probe.
+func (n *BaselineNetwork) baselineTraceMsg(op string, msg Message) {
+	if !n.tracing {
+		return
+	}
+	n.trace = append(n.trace, TraceEvent{At: n.now, Op: op, From: msg.From, To: msg.To, Kind: msg.Kind, Size: msg.Size})
+}
+
+// baselineReachable reproduces the partition probe (no partition is ever
+// configured, so it always reports true — after the nil-map check the old
+// engine made).
+func (n *BaselineNetwork) baselineReachable(a, b NodeID) bool {
+	if n.partition == nil {
+		return true
+	}
+	ga, gb := n.partition[a], n.partition[b]
+	if ga == 0 || gb == 0 {
+		return true
+	}
+	return ga == gb
+}
+
+// NewBaseline creates an empty baseline network using the given latency
+// model.
+func NewBaseline(model LatencyModel) *BaselineNetwork {
+	return &BaselineNetwork{
+		nodes:     make(map[NodeID]*baselineNode),
+		latency:   model,
+		kindStats: make(map[string]*KindStats),
+	}
+}
+
+// Now returns the current virtual time.
+func (n *BaselineNetwork) Now() time.Duration { return n.now }
+
+// AddNode registers a node with its handler and latency-space coordinate.
+func (n *BaselineNetwork) AddNode(id NodeID, handler BaselineHandler, coord Coord) error {
+	if _, ok := n.nodes[id]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateNode, id)
+	}
+	n.nodes[id] = &baselineNode{id: id, handler: handler, coord: coord}
+	return nil
+}
+
+// SetUplinkBandwidth mirrors Network.SetUplinkBandwidth.
+func (n *BaselineNetwork) SetUplinkBandwidth(bytesPerSec float64) { n.uplinkBps = bytesPerSec }
+
+// Send schedules delivery of msg after the link latency, exactly as the
+// pre-overhaul engine did: one closure capture plus one heap-node
+// allocation per message, with every disabled-path probe (liveness, event
+// trace, chaos layer, structured spans) in its original position.
+func (n *BaselineNetwork) Send(msg Message) error {
+	src, ok := n.nodes[msg.From]
+	if !ok {
+		return fmt.Errorf("send from %w: %d", ErrUnknownNode, msg.From)
+	}
+	if src.down {
+		return fmt.Errorf("send: %w: %d", ErrNodeDown, msg.From)
+	}
+	dst, ok := n.nodes[msg.To]
+	if !ok {
+		return fmt.Errorf("send to %w: %d", ErrUnknownNode, msg.To)
+	}
+	src.traffic.BytesSent += int64(msg.Size)
+	src.traffic.MsgsSent++
+	ks := n.kindStats[msg.Kind]
+	if ks == nil {
+		ks = &KindStats{}
+		n.kindStats[msg.Kind] = ks
+	}
+	ks.Messages++
+	ks.Bytes += int64(msg.Size)
+
+	n.baselineTraceMsg("send", msg)
+
+	delay := n.latency.Latency(src.coord, dst.coord, msg.Size)
+	if delay < 0 {
+		delay = 0
+	}
+	depart := n.now
+	if n.uplinkBps > 0 {
+		if src.busyUntil > depart {
+			depart = src.busyUntil
+		}
+		depart += time.Duration(float64(msg.Size) / n.uplinkBps * float64(time.Second))
+		src.busyUntil = depart
+	}
+	msg, extra, dup, dupExtra, dropped := n.baselineApplyFaults(msg)
+	if dropped {
+		n.baselineSpanEvent(msg, n.now, "lost")
+		return nil
+	}
+	sentAt := n.now
+	n.schedule(depart+delay+extra, func() { n.deliver(msg, sentAt) })
+	if dup {
+		n.schedule(depart+delay+dupExtra, func() { n.deliver(msg, sentAt) })
+	}
+	return nil
+}
+
+func (n *BaselineNetwork) deliver(msg Message, sentAt time.Duration) {
+	st := n.nodes[msg.To]
+	if st == nil || st.down || st.handler == nil || !n.baselineReachable(msg.From, msg.To) {
+		n.dropped++
+		n.baselineTraceMsg("drop", msg)
+		n.baselineSpanEvent(msg, sentAt, "dropped")
+		return
+	}
+	st.traffic.BytesRecv += int64(msg.Size)
+	st.traffic.MsgsRecv++
+	n.delivered++
+	n.baselineTraceMsg("recv", msg)
+	n.baselineSpanEvent(msg, sentAt, "")
+	st.handler(n, msg)
+}
+
+// After schedules fn to run after d of virtual time.
+func (n *BaselineNetwork) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	n.schedule(n.now+d, fn)
+}
+
+func (n *BaselineNetwork) schedule(at time.Duration, fn func()) {
+	n.seq++
+	heap.Push(&n.events, &baselineEvent{at: at, seq: n.seq, fn: fn})
+}
+
+// Step executes the next pending event, returning false when the queue is
+// empty.
+func (n *BaselineNetwork) Step() bool {
+	if n.events.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&n.events).(*baselineEvent)
+	if e.at > n.now {
+		n.now = e.at
+	}
+	e.fn()
+	return true
+}
+
+// RunUntilIdle drains the entire event queue and returns the number of
+// events executed.
+func (n *BaselineNetwork) RunUntilIdle() int {
+	executed := 0
+	for n.Step() {
+		executed++
+	}
+	return executed
+}
+
+// DeliveredCount returns the number of delivered messages.
+func (n *BaselineNetwork) DeliveredCount() int64 { return n.delivered }
+
+// TotalTraffic sums traffic across all nodes.
+func (n *BaselineNetwork) TotalTraffic() TrafficStats {
+	var t TrafficStats
+	for _, st := range n.nodes {
+		t.BytesSent += st.traffic.BytesSent
+		t.BytesRecv += st.traffic.BytesRecv
+		t.MsgsSent += st.traffic.MsgsSent
+		t.MsgsRecv += st.traffic.MsgsRecv
+	}
+	return t
+}
+
+// KindTraffic returns a copy of the per-kind aggregate for kind.
+func (n *BaselineNetwork) KindTraffic(kind string) KindStats {
+	if ks := n.kindStats[kind]; ks != nil {
+		return *ks
+	}
+	return KindStats{}
+}
