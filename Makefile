@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-selftest fmt vet bench bench-sim sim
+.PHONY: all build test race lint lint-selftest fmt vet bench bench-sim sim contest
 
 all: build test lint
 
@@ -51,3 +51,12 @@ bench-sim:
 
 sim:
 	$(GO) run ./cmd/icisim -nodes 32 -clusters 4 -blocks 2 -trace summary
+
+# Run every shipped integration scenario: real icinet -serve clusters over
+# loopback TCP, driven by the contest harness (DESIGN.md "Integration
+# harness"). CI's contest-smoke job runs bootstrap + crash-restart plus the
+# negative self-test.
+contest:
+	$(GO) run ./cmd/icicontest scenarios/bootstrap.cont \
+		scenarios/crash-restart.cont scenarios/membership.cont \
+		scenarios/byzantine.cont

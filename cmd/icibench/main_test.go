@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"testing"
 )
 
@@ -140,5 +141,33 @@ func TestSimBenchSpeedupGate(t *testing.T) {
 	}
 	if err := run([]string{"-quick", "-simbench", path, "-minspeedup", "0.0001"}); err != nil {
 		t.Fatalf("trivial speedup gate failed: %v", err)
+	}
+}
+
+// Golden-shape check for the obs flag plumbing in the benchmark driver.
+func TestObsMetricsFlagGoldenShape(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "metrics.json")
+	if err := run([]string{"-quick", "-run", "E3", "-trace", "summary", "-metrics", file}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]float64
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("-metrics dump is not valid JSON: %v\n%s", err, data)
+	}
+	nameRE := regexp.MustCompile(`^(ici|consensus|simnet|netx)\.[a-z0-9_.]+$`)
+	for name := range snap {
+		if !nameRE.MatchString(name) {
+			t.Errorf("metric %q violates the naming convention", name)
+		}
+	}
+}
+
+func TestObsRejectsBadTraceMode(t *testing.T) {
+	if err := run([]string{"-quick", "-run", "E3", "-trace", "verbose"}); err == nil {
+		t.Fatal("bad -trace mode accepted")
 	}
 }

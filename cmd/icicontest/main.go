@@ -1,0 +1,140 @@
+// Command icicontest runs declarative .cont integration scenarios against
+// real icinet -serve clusters (see internal/contest for the grammar and
+// scenarios/ for the shipped suite):
+//
+//	icicontest -scenario scenarios/bootstrap.cont
+//	icicontest -v scenarios/bootstrap.cont scenarios/crash-restart.cont
+//
+// Each scenario launches its own cluster of icinet processes, executes the
+// staged actions, and tears every process down before the next scenario
+// starts. Exit status: 0 all scenarios passed, 1 a scenario failed,
+// 2 usage or setup error.
+//
+// Without -icinet the binary is built on the fly (go build ./cmd/icinet
+// from the enclosing module), so the tool works from a plain checkout.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"icistrategy/internal/contest"
+)
+
+// errUsage marks setup/usage failures so main can exit 2 instead of 1.
+var errUsage = errors.New("usage error")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	switch {
+	case err == nil:
+	case errors.Is(err, errUsage):
+		fmt.Fprintln(os.Stderr, "icicontest:", err)
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, "icicontest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("icicontest", flag.ContinueOnError)
+	scenarioFlag := fs.String("scenario", "", "scenario file to run (may also be given as positional arguments)")
+	icinet := fs.String("icinet", "", "path to an icinet binary; empty: build it from the enclosing module")
+	workdir := fs.String("workdir", "", "scratch directory for node state (default: a temp dir, removed afterwards)")
+	timeout := fs.Duration("timeout", 5*time.Minute, "per-scenario budget")
+	verbose := fs.Bool("v", false, "mirror each node's stderr into the narration")
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	var files []string
+	if *scenarioFlag != "" {
+		files = append(files, *scenarioFlag)
+	}
+	files = append(files, fs.Args()...)
+	if len(files) == 0 {
+		return fmt.Errorf("%w: no scenario files given (try -scenario scenarios/bootstrap.cont)", errUsage)
+	}
+
+	bin := *icinet
+	if bin == "" {
+		built, cleanup, err := buildIcinet()
+		if err != nil {
+			return fmt.Errorf("%w: %v", errUsage, err)
+		}
+		defer cleanup()
+		bin = built
+	}
+
+	failed := 0
+	for _, f := range files {
+		sc, err := contest.ParseScenarioFile(f)
+		if err != nil {
+			return fmt.Errorf("%w: %v", errUsage, err)
+		}
+		r := &contest.Runner{
+			IcinetPath: bin,
+			WorkDir:    *workdir,
+			Out:        out,
+			Verbose:    *verbose,
+			Timeout:    *timeout,
+		}
+		if err := r.Run(sc); err != nil {
+			failed++
+			fmt.Fprintf(out, "FAIL %s: %v\n", f, err)
+			continue
+		}
+		fmt.Fprintf(out, "PASS %s\n", f)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed", failed, len(files))
+	}
+	return nil
+}
+
+// buildIcinet compiles cmd/icinet into a temp dir, locating the module
+// root by walking up from the working directory.
+func buildIcinet() (string, func(), error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return "", nil, fmt.Errorf("%v (pass -icinet PATH to use a prebuilt binary)", err)
+	}
+	dir, err := os.MkdirTemp("", "icicontest-bin-")
+	if err != nil {
+		return "", nil, err
+	}
+	cleanup := func() { os.RemoveAll(dir) }
+	bin := filepath.Join(dir, "icinet")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/icinet")
+	cmd.Dir = root
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		cleanup()
+		return "", nil, fmt.Errorf("build icinet: %v", err)
+	}
+	return bin, cleanup, nil
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", errors.New("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,13 +1,26 @@
-// Command icinet runs the ICIStrategy storage layout over REAL TCP: it
-// starts one storage server per cluster member on localhost, distributes a
-// chain of blocks with the same rendezvous placement the simulator uses,
-// kills a server, and demonstrates a degraded, Merkle-verified read. This
-// is the "it's not just a simulator" proof for the storage protocol.
+// Command icinet runs the ICIStrategy storage layout over REAL TCP. It has
+// two modes:
+//
+// Demo (default): starts one storage server per cluster member on
+// localhost, distributes a chain of blocks with the same rendezvous
+// placement the simulator uses, kills a server, and demonstrates a
+// degraded, Merkle-verified read — the "it's not just a simulator" proof
+// for the storage protocol.
+//
+// Serve (-serve, must be the first argument): runs ONE long-lived cluster
+// member for the integration harness (cmd/icicontest): it binds a listen
+// address, prints a readiness line on stdout, streams structured logfmt
+// events on stderr, optionally re-syncs its chunks from peers at startup
+// (crash recovery / joining), and shuts down gracefully on SIGTERM. See
+// serve.go for the full harness contract.
 //
 // Usage:
 //
 //	icinet [-members 8] [-replication 2] [-blocks 5] [-tx 100] [-seed 42]
-//	       [-trace summary|tree] [-metrics FILE|-] [-pprof ADDR]
+//	       [-listen 127.0.0.1:0] [-trace summary|tree] [-metrics FILE|-]
+//	       [-pprof ADDR]
+//	icinet -serve [-listen ADDR] [-id N] [-members A,B,C] [-replication R]
+//	       [-state DIR] [-resync auto|join|restart|none] [-chaos]
 package main
 
 import (
@@ -32,12 +45,16 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && (args[0] == "-serve" || args[0] == "--serve") {
+		return runServe(args[1:])
+	}
 	fs := flag.NewFlagSet("icinet", flag.ContinueOnError)
 	members := fs.Int("members", 8, "cluster size (one TCP server per member)")
 	replication := fs.Int("replication", 2, "replication factor")
 	blocks := fs.Int("blocks", 5, "blocks to distribute")
 	txPerBlock := fs.Int("tx", 100, "transactions per block")
 	seed := fs.Uint64("seed", 42, "workload seed")
+	listen := fs.String("listen", "127.0.0.1:0", "listen address each demo server binds (port 0: ephemeral)")
 	obsf := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,9 +67,11 @@ func run(args []string) error {
 	servers := make([]*netx.Server, *members)
 	addrs := make([]string, *members)
 	for i := range servers {
-		s, err := netx.NewServer("127.0.0.1:0")
+		s, err := netx.NewServer(*listen)
 		if err != nil {
-			return err
+			// The member index plus netx's own addr context pins down
+			// WHICH of the N servers failed, not just that one did.
+			return fmt.Errorf("start member %d of %d: %w", i, *members, err)
 		}
 		defer s.Close()
 		s.SetTracer(obsf.Tracer())

@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
 
 func TestRunTCPDemo(t *testing.T) {
 	if err := run([]string{"-members", "5", "-replication", "2", "-blocks", "2", "-tx", "20"}); err != nil {
@@ -17,5 +25,68 @@ func TestRunReplicationOneSkipsKill(t *testing.T) {
 func TestRunRejectsBadReplication(t *testing.T) {
 	if err := run([]string{"-members", "2", "-replication", "5", "-blocks", "1"}); err == nil {
 		t.Fatal("replication > members accepted")
+	}
+}
+
+// Regression: a failing server start must name WHICH member failed, not
+// surface a bare listen error that could be any of the N servers.
+func TestRunReportsFailingMemberOnStartError(t *testing.T) {
+	err := run([]string{"-members", "3", "-listen", "257.0.0.1:0", "-blocks", "1"})
+	if err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+	if !strings.Contains(err.Error(), "start member 0 of 3") {
+		t.Fatalf("error does not identify the failing member: %v", err)
+	}
+	if !strings.Contains(err.Error(), "257.0.0.1:0") {
+		t.Fatalf("error does not carry the failing address: %v", err)
+	}
+}
+
+// Regression: when a concrete port is given, the SECOND member's bind
+// collides and the error must say so — member index plus address.
+func TestRunReportsFailingMemberOnPortCollision(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	err = run([]string{"-members", "2", "-listen", l.Addr().String(), "-blocks", "1"})
+	if err == nil {
+		t.Fatal("double bind accepted")
+	}
+	if !strings.Contains(err.Error(), "start member 0 of 2") {
+		t.Fatalf("error does not identify the failing member: %v", err)
+	}
+}
+
+// Golden-shape check for the obs flag plumbing over the TCP demo: the
+// -metrics dump must be valid JSON with convention-abiding keys, and a bad
+// -trace mode must be rejected before any server starts.
+func TestObsMetricsFlagGoldenShape(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "metrics.json")
+	if err := run([]string{"-members", "3", "-blocks", "1", "-tx", "10",
+		"-trace", "summary", "-metrics", file}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]float64
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("-metrics dump is not valid JSON: %v\n%s", err, data)
+	}
+	nameRE := regexp.MustCompile(`^(ici|consensus|simnet|netx)\.[a-z0-9_.]+$`)
+	for name := range snap {
+		if !nameRE.MatchString(name) {
+			t.Errorf("metric %q violates the naming convention", name)
+		}
+	}
+}
+
+func TestObsRejectsBadTraceMode(t *testing.T) {
+	if err := run([]string{"-members", "2", "-trace", "verbose"}); err == nil {
+		t.Fatal("bad -trace mode accepted")
 	}
 }

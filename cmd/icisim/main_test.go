@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
 
 func TestRunSmallSimulation(t *testing.T) {
 	if err := run([]string{"-nodes", "24", "-clusters", "2", "-blocks", "2", "-tx", "24", "-verbose"}); err != nil {
@@ -14,5 +20,42 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-not-a-flag"}); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+}
+
+// Golden-shape check for the obs flag plumbing: -metrics must write a JSON
+// object whose keys all carry the namespaced metric naming convention, and
+// the simulation must have populated the protocol counters.
+func TestObsMetricsFlagGoldenShape(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "metrics.json")
+	if err := run([]string{"-nodes", "24", "-clusters", "2", "-blocks", "2", "-tx", "24",
+		"-trace", "summary", "-metrics", file}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]float64
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("-metrics dump is not valid JSON: %v\n%s", err, data)
+	}
+	if len(snap) == 0 {
+		t.Fatal("simulation recorded no counters")
+	}
+	nameRE := regexp.MustCompile(`^(ici|consensus|simnet|netx)\.[a-z0-9_.]+$`)
+	for name := range snap {
+		if !nameRE.MatchString(name) {
+			t.Errorf("metric %q violates the naming convention", name)
+		}
+	}
+	if snap["ici.distribute.proposals"] == 0 {
+		t.Errorf("protocol counters not wired into the obs registry: %v", snap)
+	}
+}
+
+func TestObsRejectsBadTraceMode(t *testing.T) {
+	if err := run([]string{"-nodes", "24", "-clusters", "2", "-trace", "verbose"}); err == nil {
+		t.Fatal("bad -trace mode accepted")
 	}
 }

@@ -8,6 +8,17 @@ import (
 	"icistrategy/internal/simnet"
 )
 
+// This file is the real-TCP bootstrap path: provisioning a storage server
+// with the headers and chunks it is responsible for, fetched from live
+// cluster members, verify-on-write. Two entry points share the machinery:
+//
+//   - BootstrapNewMember: a brand-new node joins a cluster of N as member
+//     N — ownership is computed under the grown membership (the
+//     re-placement case).
+//   - ResyncMember: an existing member restarted with an empty store
+//     re-fetches the chunks it owns under the unchanged membership (the
+//     crash-recovery case).
+
 // BootstrapNewMember provisions a brand-new storage server as the next
 // member of this cluster, over TCP: it syncs every header from an existing
 // member (validating the hash chain), computes which chunks the newcomer
@@ -20,22 +31,124 @@ import (
 // newcomer to serve future blocks build a new Cluster over addrs +
 // newAddr.
 func (cl *Cluster) BootstrapNewMember(newAddr string) (int, error) {
-	newClient, err := Dial(newAddr)
+	newID := simnet.NodeID(len(cl.ids))
+	grown := append(append([]simnet.NodeID(nil), cl.ids...), newID)
+	return cl.provisionMember(newAddr, newID, grown)
+}
+
+// ResyncMember re-provisions an existing member whose local store was lost
+// (crash, restart, disk wipe): headers are synced from a surviving member
+// and every chunk the member owns under the current membership is fetched
+// from another replica and pushed back, verify-on-write. addr must be the
+// member's own address — cl must span the full membership including it.
+// It returns how many chunks were transferred.
+//
+// A chunk whose only owners were the lost member itself (replication 1)
+// cannot be recovered and fails the resync.
+func (cl *Cluster) ResyncMember(addr string, id simnet.NodeID) (int, error) {
+	if int(id) < 0 || int(id) >= len(cl.ids) {
+		return 0, fmt.Errorf("netx: resync: member id %d outside cluster of %d", id, len(cl.ids))
+	}
+	if cl.addrs[int(id)] != addr {
+		return 0, fmt.Errorf("netx: resync: member %d is %s, not %s", id, cl.addrs[int(id)], addr)
+	}
+	return cl.provisionMember(addr, id, cl.ids)
+}
+
+// provisionMember pushes headers plus the chunks self owns (ownership is
+// rendezvous placement over the ownership id set) into the server at
+// target, fetching everything from the cluster's members other than target
+// itself. cl's membership is the membership blocks were distributed under,
+// so chunk counts and source owners are computed from cl.ids.
+func (cl *Cluster) provisionMember(target string, self simnet.NodeID, ownership []simnet.NodeID) (int, error) {
+	targetClient, err := Dial(target)
+	if err != nil {
+		return 0, fmt.Errorf("netx: bootstrap: dial member %s: %w", target, err)
+	}
+	defer targetClient.Close()
+
+	headers, err := cl.syncHeaders(targetClient, target)
 	if err != nil {
 		return 0, err
 	}
-	defer newClient.Close()
 
-	// Header sync from the first reachable member, with linkage checks.
+	parts := len(cl.ids) // chunk count of already-stored blocks
+	transferred := 0
+	for _, h := range headers {
+		block := h.Hash()
+		seed := block.Uint64()
+		for idx := 0; idx < parts; idx++ {
+			owns, oerr := core.IsOwner(seed, ownership, idx, cl.replication, self)
+			if oerr != nil {
+				return transferred, oerr
+			}
+			if !owns {
+				continue
+			}
+			// Owners under the distribute-time membership hold the data;
+			// the target itself (which may be one of them, in the resync
+			// case) has nothing to offer.
+			owners, oerr := core.Owners(seed, cl.ids, idx, cl.replication)
+			if oerr != nil {
+				return transferred, oerr
+			}
+			var chunk *ChunkResp
+			for _, o := range owners {
+				addr := cl.addrs[int(o)]
+				if addr == target {
+					continue
+				}
+				c, cerr := cl.client(addr)
+				if cerr != nil {
+					continue
+				}
+				resp, gerr := c.GetChunk(block, idx)
+				if gerr != nil {
+					cl.dropClient(addr)
+					continue
+				}
+				chunk = resp
+				break
+			}
+			if chunk == nil {
+				return transferred, fmt.Errorf("netx: bootstrap: chunk %d of %s unavailable from any owner", idx, block.Short())
+			}
+			// The target server verifies proofs against the header on write.
+			if err := targetClient.PutChunk(PutChunkReq{
+				Block:   block,
+				Index:   idx,
+				Parts:   chunk.Parts,
+				TxStart: chunk.TxStart,
+				Data:    chunk.Data,
+				Proofs:  chunk.Proofs,
+			}); err != nil {
+				return transferred, fmt.Errorf("netx: bootstrap: push chunk %d to %s: %w", idx, target, err)
+			}
+			transferred++
+		}
+	}
+	return transferred, nil
+}
+
+// syncHeaders copies the header chain from the first reachable member
+// (skipping target itself) into targetClient, validating genesis anchoring
+// and hash-chain linkage on the way.
+func (cl *Cluster) syncHeaders(targetClient *Client, target string) ([]chain.Header, error) {
 	var headers []chain.Header
 	synced := false
+	var lastErr error
 	for _, addr := range cl.addrs {
+		if addr == target {
+			continue
+		}
 		c, cerr := cl.client(addr)
 		if cerr != nil {
+			lastErr = cerr
 			continue
 		}
 		hs, herr := c.GetHeaders(0)
 		if herr != nil {
+			lastErr = fmt.Errorf("get headers from %s: %w", addr, herr)
 			cl.dropClient(addr)
 			continue
 		}
@@ -44,7 +157,10 @@ func (cl *Cluster) BootstrapNewMember(newAddr string) (int, error) {
 		break
 	}
 	if !synced {
-		return 0, fmt.Errorf("netx: bootstrap: %w", ErrNoServers)
+		if lastErr != nil {
+			return nil, fmt.Errorf("netx: bootstrap: no member served headers: %w", lastErr)
+		}
+		return nil, fmt.Errorf("netx: bootstrap: %w", ErrNoServers)
 	}
 	var prev *chain.Header
 	for i := range headers {
@@ -52,68 +168,15 @@ func (cl *Cluster) BootstrapNewMember(newAddr string) (int, error) {
 		if prev != nil {
 			blk := chain.Block{Header: h}
 			if err := blk.VerifyLink(prev); err != nil {
-				return 0, fmt.Errorf("netx: bootstrap: header %d: %w", i, err)
+				return nil, fmt.Errorf("netx: bootstrap: header %d: %w", i, err)
 			}
 		} else if h.Height != 0 || !h.PrevHash.IsZero() {
-			return 0, fmt.Errorf("netx: bootstrap: chain does not start at genesis")
+			return nil, fmt.Errorf("netx: bootstrap: chain does not start at genesis")
 		}
-		if err := newClient.PutHeader(h); err != nil {
-			return 0, err
+		if err := targetClient.PutHeader(h); err != nil {
+			return nil, fmt.Errorf("netx: bootstrap: push header %d: %w", i, err)
 		}
 		prev = &headers[i]
 	}
-
-	// Ownership under the grown membership: the newcomer takes the next
-	// placement identity.
-	newID := simnet.NodeID(len(cl.ids))
-	grown := append(append([]simnet.NodeID(nil), cl.ids...), newID)
-	parts := len(cl.ids) // chunk count of already-stored blocks
-	transferred := 0
-	for _, h := range headers {
-		block := h.Hash()
-		seed := block.Uint64()
-		for idx := 0; idx < parts; idx++ {
-			owns, oerr := core.IsOwner(seed, grown, idx, cl.replication, newID)
-			if oerr != nil {
-				return transferred, oerr
-			}
-			if !owns {
-				continue
-			}
-			// Current owners under the old membership hold the data.
-			oldOwners, oerr := core.Owners(seed, cl.ids, idx, cl.replication)
-			if oerr != nil {
-				return transferred, oerr
-			}
-			var chunk *ChunkResp
-			for _, o := range oldOwners {
-				c, cerr := cl.client(cl.addrs[int(o)])
-				if cerr != nil {
-					continue
-				}
-				resp, gerr := c.GetChunk(block, idx)
-				if gerr != nil {
-					continue
-				}
-				chunk = resp
-				break
-			}
-			if chunk == nil {
-				return transferred, fmt.Errorf("netx: bootstrap: chunk %d of %s unavailable", idx, block.Short())
-			}
-			// The new server verifies proofs against the header on write.
-			if err := newClient.PutChunk(PutChunkReq{
-				Block:   block,
-				Index:   idx,
-				Parts:   chunk.Parts,
-				TxStart: chunk.TxStart,
-				Data:    chunk.Data,
-				Proofs:  chunk.Proofs,
-			}); err != nil {
-				return transferred, fmt.Errorf("netx: bootstrap: push chunk %d: %w", idx, err)
-			}
-			transferred++
-		}
-	}
-	return transferred, nil
+	return headers, nil
 }

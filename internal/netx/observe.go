@@ -44,6 +44,8 @@ func reqName(r *Request) string {
 		return "get-block-chunks"
 	case r.Stats != nil:
 		return "stats"
+	case r.Fault != nil:
+		return "fault"
 	default:
 		return "unknown"
 	}

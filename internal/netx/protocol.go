@@ -38,6 +38,7 @@ type Request struct {
 	GetChunk       *GetChunkReq
 	GetBlockChunks *GetBlockChunksReq
 	Stats          *StatsReq
+	Fault          *FaultReq
 }
 
 // Response is the union of server responses; Err is set on failure.
@@ -48,6 +49,7 @@ type Response struct {
 	Chunk       *ChunkResp
 	BlockChunks *BlockChunksResp
 	Stats       *StatsResp
+	Faults      *FaultResp
 }
 
 // PutHeaderReq stores a block header.
@@ -107,6 +109,23 @@ type StatsResp struct {
 	HeaderBytes int64
 	ChunkCount  int64
 	ChunkBytes  int64
+}
+
+// FaultReq is the chaos control op (see faults.go): it installs a fault
+// configuration, corrupts already-stored chunks, or both. Servers reject it
+// unless EnableChaos was called at startup.
+type FaultReq struct {
+	// Set installs this fault config (a zero config clears faults).
+	Set *FaultConfig
+	// CorruptStored flips one byte in every stored chunk, turning this
+	// server into a byzantine member whose shards fail verification.
+	CorruptStored bool
+}
+
+// FaultResp acknowledges a FaultReq.
+type FaultResp struct {
+	// Corrupted counts the chunks CorruptStored damaged.
+	Corrupted int
 }
 
 // writeMessage frames and gob-encodes v onto w: 4-byte big-endian length,

@@ -3,13 +3,28 @@ package netx
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"icistrategy/internal/chain"
 	"icistrategy/internal/storage"
 	"icistrategy/internal/trace"
 )
+
+// drainGrace bounds how long Close waits for in-flight request/response
+// pairs to complete before connection deadlines cut them off. Idle
+// connections (blocked waiting for the next request frame) unblock
+// immediately via the same deadline and exit quietly.
+const drainGrace = 250 * time.Millisecond
+
+// Logf is the server's structured event sink: an event name plus
+// alternating key/value pairs. cmd/icinet -serve wires it to the logfmt
+// stderr stream the integration harness asserts on; nil discards events.
+type Logf func(event string, kv ...any)
 
 // Server is one ICIStrategy storage node exposed over TCP. It owns a
 // storage.Store plus the proof sidecar and serves the request/response
@@ -24,6 +39,15 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 	tr     *trace.Tracer
+	logf   Logf
+	faults *faultState
+
+	// connErrs counts abnormal connection errors: read/write failures that
+	// are neither a client hanging up (EOF) nor the server's own graceful
+	// drain. A clean close under load keeps this at zero — the regression
+	// guard for the "use of closed network connection" noise the old
+	// force-close Close used to produce.
+	connErrs atomic.Int64
 }
 
 type chunkSidecar struct {
@@ -37,7 +61,7 @@ type chunkSidecar struct {
 func NewServer(addr string) (*Server, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("netx: listen: %w", err)
+		return nil, fmt.Errorf("netx: listen %s: %w", addr, err)
 	}
 	s := &Server{
 		listener: l,
@@ -53,8 +77,29 @@ func NewServer(addr string) (*Server, error) {
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
 
-// Close stops the listener, force-closes active connections, and waits for
-// all connection goroutines to exit.
+// SetLogf installs (or clears, with nil) the structured event sink.
+func (s *Server) SetLogf(fn Logf) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logf = fn
+}
+
+// event emits to the installed sink, if any.
+func (s *Server) event(name string, kv ...any) {
+	s.mu.Lock()
+	fn := s.logf
+	s.mu.Unlock()
+	if fn != nil {
+		fn(name, kv...)
+	}
+}
+
+// Close stops the listener and drains gracefully: in-flight request/
+// response pairs get up to drainGrace to complete, idle connections are
+// unblocked immediately, and every connection goroutine has exited by the
+// time Close returns. No handler surfaces "use of closed network
+// connection" — the old behavior of force-closing active connections
+// mid-frame.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -62,14 +107,31 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
-		_ = c.Close()
+		conns = append(conns, c)
 	}
 	s.mu.Unlock()
 	err := s.listener.Close()
+	deadline := time.Now().Add(drainGrace)
+	for _, c := range conns {
+		_ = c.SetDeadline(deadline)
+	}
 	s.wg.Wait()
+	s.event("serve.drained", "conns", len(conns))
 	return err
 }
+
+// isClosed reports whether Close has begun.
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// ConnErrors returns the abnormal-connection-error count (see the field
+// comment); tests assert it stays zero across a close under load.
+func (s *Server) ConnErrors() int64 { return s.connErrs.Load() }
 
 // Stats returns the server's storage accounting snapshot.
 func (s *Server) Stats() storage.Stats {
@@ -107,7 +169,28 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// serveConn handles request/response pairs until the client disconnects.
+// connErr classifies a connection failure: expected terminations (client
+// hung up, graceful drain) end the connection quietly; anything else is
+// counted and logged.
+func (s *Server) connErr(op string, err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return // client disconnected between or during a frame
+	}
+	if errors.Is(err, os.ErrDeadlineExceeded) && s.isClosed() {
+		return // drain deadline cut off an idle or straggling connection
+	}
+	if errors.Is(err, net.ErrClosed) && s.isClosed() {
+		return // connection torn down by shutdown
+	}
+	s.connErrs.Add(1)
+	s.event("conn.error", "op", op, "err", err.Error())
+}
+
+// serveConn handles request/response pairs until the client disconnects or
+// the server drains.
 func (s *Server) serveConn(conn net.Conn) {
 	s.mu.Lock()
 	tr := s.tr
@@ -115,12 +198,31 @@ func (s *Server) serveConn(conn net.Conn) {
 	cw := &countConn{rw: conn}
 	var last int64
 	for {
+		if s.isClosed() {
+			return // drained: the previous round-trip completed
+		}
 		var req Request
 		if err := readMessage(cw, &req); err != nil {
-			return // EOF or broken frame: drop the connection
+			s.connErr("read", err)
+			return
+		}
+		var corrupt bool
+		if f := s.chaosState(); f != nil && req.Fault == nil {
+			d := f.decide()
+			if d.delay > 0 {
+				time.Sleep(d.delay)
+			}
+			if d.drop {
+				return // drop: close without a response
+			}
+			corrupt = d.corrupt
 		}
 		resp := s.handle(&req)
+		if corrupt {
+			corruptChunkResponses(resp)
+		}
 		if err := writeMessage(cw, resp); err != nil {
+			s.connErr("write", err)
 			return
 		}
 		if tr.Enabled() {
@@ -131,6 +233,13 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) handle(req *Request) *Response {
+	if req.Fault != nil {
+		f := s.chaosState()
+		if f == nil {
+			return errResp(fmt.Errorf("%w: chaos not enabled on this server", ErrBadRequest))
+		}
+		return s.handleFault(f, req.Fault)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch {

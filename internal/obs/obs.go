@@ -40,6 +40,8 @@ type Flags struct {
 	ring *trace.Ring
 	tr   *trace.Tracer
 	reg  *metrics.Registry
+
+	pprofBound string // actual listen address once the pprof server is up
 }
 
 // Register adds the -trace/-metrics/-pprof flags to fs. Call Setup after
@@ -76,7 +78,8 @@ func (f *Flags) Setup() error {
 		if err != nil {
 			return fmt.Errorf("obs: pprof listen: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "obs: pprof and /metrics on http://%s\n", ln.Addr())
+		f.pprofBound = ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "obs: pprof and /metrics on http://%s\n", f.pprofBound)
 		go func() { _ = srv.Serve(ln) }()
 	}
 	return nil
@@ -85,6 +88,10 @@ func (f *Flags) Setup() error {
 // Tracer returns the run's tracer; nil (a valid no-op tracer) when -trace
 // was not given.
 func (f *Flags) Tracer() *trace.Tracer { return f.tr }
+
+// PprofAddr returns the bound pprof/metrics listen address, or "" when
+// -pprof was not given (the default: no debug server runs).
+func (f *Flags) PprofAddr() string { return f.pprofBound }
 
 // Registry returns the run's counter registry (never nil after Setup).
 func (f *Flags) Registry() *metrics.Registry { return f.reg }

@@ -1,7 +1,10 @@
 package obs
 
 import (
+	"encoding/json"
 	"flag"
+	"io"
+	"net/http"
 	"strings"
 	"testing"
 
@@ -80,5 +83,46 @@ func TestFinishWritesSummaryTreeAndMetrics(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Errorf("Finish output missing %q:\n%s", want, got)
 		}
+	}
+}
+
+func TestPprofOffByDefault(t *testing.T) {
+	f := parse(t)
+	if err := f.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	if addr := f.PprofAddr(); addr != "" {
+		t.Fatalf("pprof server bound to %s without -pprof", addr)
+	}
+}
+
+func TestPprofServesMetricsJSON(t *testing.T) {
+	f := parse(t, "-pprof", "127.0.0.1:0")
+	if err := f.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	addr := f.PprofAddr()
+	if addr == "" {
+		t.Fatal("-pprof did not bind a listener")
+	}
+	f.Registry().Counter("ici.test.pings").Inc()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]float64
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics is not valid JSON: %v\n%s", err, body)
+	}
+	if snap["ici.test.pings"] != 1 {
+		t.Fatalf("counter missing from /metrics: %v", snap)
 	}
 }
