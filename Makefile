@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-selftest fmt vet bench bench-sim sim contest
+.PHONY: all build test race lint lint-selftest fmt vet bench bench-sim bench-gateway sim contest
 
 all: build test lint
 
@@ -49,6 +49,13 @@ bench:
 bench-sim:
 	$(GO) run ./cmd/icibench -simbench BENCH_PR5.json
 
+# Regenerate the read-gateway load snapshot: Zipfian closed-loop clients
+# over a real TCP storage cluster, caches on vs off (DESIGN.md "Read-path
+# gateway"). CI runs the same command at -quick scale with -minspeedup 1.5
+# as the regression gate.
+bench-gateway:
+	$(GO) run ./cmd/icibench -gatewaybench BENCH_PR7.json
+
 sim:
 	$(GO) run ./cmd/icisim -nodes 32 -clusters 4 -blocks 2 -trace summary
 
@@ -59,4 +66,4 @@ sim:
 contest:
 	$(GO) run ./cmd/icicontest scenarios/bootstrap.cont \
 		scenarios/crash-restart.cont scenarios/membership.cont \
-		scenarios/byzantine.cont
+		scenarios/byzantine.cont scenarios/gateway.cont

@@ -17,8 +17,11 @@
 // kernel and scalar paths, the speedup, reconstruction MB/s, allocation
 // counts). The -simbench FILE mode does the same for the simulation engine:
 // events/sec, allocs/event, and wall time of an E4-style flood+ack workload
-// on the overhauled engine versus the frozen pre-overhaul baseline.
-// -minspeedup N makes either bench mode exit nonzero when its headline
+// on the overhauled engine versus the frozen pre-overhaul baseline. The
+// -gatewaybench FILE mode snapshots the read-path gateway under a Zipfian
+// closed-loop load over a real TCP storage cluster, caches on versus off
+// (QPS, p50/p99 latency, hit rate, upstream RPC counts).
+// -minspeedup N makes any bench mode exit nonzero when its headline
 // speedup falls below N — the CI regression gates.
 package main
 
@@ -33,6 +36,7 @@ import (
 	"time"
 
 	"icistrategy/internal/experiments"
+	"icistrategy/internal/gateway"
 	"icistrategy/internal/metrics"
 	"icistrategy/internal/obs"
 	"icistrategy/internal/runner"
@@ -55,7 +59,8 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "experiment cells to run concurrently (0 = GOMAXPROCS; tracing forces 1)")
 	erasureBench := fs.String("erasurebench", "", "write an erasure hot-path throughput snapshot to this JSON file and exit")
 	simBench := fs.String("simbench", "", "write a simulation-engine throughput snapshot to this JSON file and exit")
-	minSpeedup := fs.Float64("minspeedup", 0, "with -erasurebench/-simbench: fail unless the headline speedup reaches this factor")
+	gatewayBench := fs.String("gatewaybench", "", "write a gateway read-path load snapshot to this JSON file and exit")
+	minSpeedup := fs.Float64("minspeedup", 0, "with -erasurebench/-simbench/-gatewaybench: fail unless the headline speedup reaches this factor")
 	obsf := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,6 +84,9 @@ func run(args []string) error {
 	}
 	if *simBench != "" {
 		return runSimBench(*simBench, params, *quick, *minSpeedup)
+	}
+	if *gatewayBench != "" {
+		return runGatewayBench(*gatewayBench, params, *quick, *minSpeedup)
 	}
 
 	var selected []experiments.Experiment
@@ -260,6 +268,54 @@ func runSimBench(path string, params experiments.Params, quick bool, minSpeedup 
 				headline.EventsPerSec, headline.BaselineEventsPerSec)
 		}
 		fmt.Printf("speedup gate passed: %.2fx >= %.2fx\n", headline.Speedup, minSpeedup)
+	}
+	return nil
+}
+
+// gatewayBenchReport is the schema of BENCH_PR7.json: the same Zipfian
+// closed-loop workload driven through the gateway with its caches on and
+// off, over a real TCP storage cluster.
+type gatewayBenchReport struct {
+	benchEnv
+	CacheOn    gateway.LoadReport `json:"cache_on"`
+	CacheOff   gateway.LoadReport `json:"cache_off"`
+	QPSSpeedup float64            `json:"qps_speedup"`
+}
+
+// runGatewayBench drives the gateway load harness in both cache modes,
+// writes the JSON snapshot, and enforces the -minspeedup gate against the
+// cache-on / cache-off QPS ratio.
+func runGatewayBench(path string, params experiments.Params, quick bool, minSpeedup float64) error {
+	report := gatewayBenchReport{benchEnv: currentBenchEnv(quick, params.Seed)}
+	for _, mode := range []struct {
+		name  string
+		bytes int64
+		out   *gateway.LoadReport
+	}{
+		{"cache-on", params.GatewayCacheBytes, &report.CacheOn},
+		{"cache-off", 0, &report.CacheOff},
+	} {
+		r, err := gateway.RunLoad(params.GatewayLoadConfig(mode.bytes))
+		if err != nil {
+			return fmt.Errorf("gatewaybench %s: %w", mode.name, err)
+		}
+		*mode.out = r
+		fmt.Printf("%s: %d reqs (%d errors) in %.2fs — %.0f QPS, p50 %.2f ms, p99 %.2f ms, hit rate %.2f, %d upstream RPCs (%d refs), %d coalesced\n",
+			mode.name, r.Requests, r.Errors, r.Seconds, r.QPS,
+			r.P50Millis, r.P99Millis, r.HitRate, r.UpstreamRPCs, r.BatchedRefs, r.Coalesced)
+	}
+	if report.CacheOff.QPS > 0 {
+		report.QPSSpeedup = report.CacheOn.QPS / report.CacheOff.QPS
+	}
+	if err := writeBenchReport(path, report); err != nil {
+		return err
+	}
+	if minSpeedup > 0 {
+		if report.QPSSpeedup < minSpeedup {
+			return fmt.Errorf("gateway QPS speedup %.2fx below required %.2fx (cache on %.0f QPS vs off %.0f QPS)",
+				report.QPSSpeedup, minSpeedup, report.CacheOn.QPS, report.CacheOff.QPS)
+		}
+		fmt.Printf("speedup gate passed: %.2fx >= %.2fx\n", report.QPSSpeedup, minSpeedup)
 	}
 	return nil
 }

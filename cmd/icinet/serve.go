@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"icistrategy/internal/experiments"
+	"icistrategy/internal/gateway"
 	"icistrategy/internal/netx"
 	"icistrategy/internal/obs"
 	"icistrategy/internal/simnet"
@@ -181,6 +182,8 @@ func runServe(args []string) error {
 	stateDir := fs.String("state", "", "state directory: persists identity and detects restarts")
 	resyncFlag := fs.String("resync", "auto", `bootstrap-from-peers at startup: "auto" (restart-resync iff the state dir shows a prior run), "join", "restart", "none"`)
 	chaos := fs.Bool("chaos", false, "honor FaultReq chaos control ops (for the integration harness)")
+	gatewayAddr := fs.String("gateway", "", `also serve the client read gateway on this TCP address ("" disables)`)
+	gatewayCache := fs.Int64("gateway-cache", 64<<20, "per-cache byte budget for the gateway block and chunk caches")
 	obsf := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -238,9 +241,44 @@ func runServe(args []string) error {
 		}
 	}
 
+	// Optional read gateway: a second listener serving cached, coalesced
+	// block reads and light-client proofs out of the whole cluster.
+	var gsrv *gateway.Server
+	if *gatewayAddr != "" {
+		if len(members) == 0 {
+			return errors.New("serve: -gateway requires -members")
+		}
+		up, err := gateway.NewClusterUpstream(members, *replication)
+		if err != nil {
+			return fmt.Errorf("serve: gateway upstream: %w", err)
+		}
+		defer up.Close()
+		g, err := gateway.New(gateway.Config{
+			Upstream:        up,
+			BlockCacheBytes: *gatewayCache,
+			ChunkCacheBytes: *gatewayCache,
+			Registry:        obsf.Registry(),
+		})
+		if err != nil {
+			return fmt.Errorf("serve: gateway: %w", err)
+		}
+		gsrv, err = gateway.NewServer(*gatewayAddr, g)
+		if err != nil {
+			return fmt.Errorf("serve: gateway listen: %w", err)
+		}
+		defer gsrv.Close()
+	}
+
 	// Readiness: the harness blocks on this line before acting on the node.
-	fmt.Printf("ICINET READY addr=%s id=%d\n", srv.Addr(), *id)
+	if gsrv != nil {
+		fmt.Printf("ICINET READY addr=%s id=%d gateway=%s\n", srv.Addr(), *id, gsrv.Addr())
+	} else {
+		fmt.Printf("ICINET READY addr=%s id=%d\n", srv.Addr(), *id)
+	}
 	elog.Event("serve.ready", "addr", srv.Addr(), "id", *id, "restarted", restarted, "chaos", *chaos)
+	if gsrv != nil {
+		elog.Event("gateway.ready", "addr", gsrv.Addr(), "cache_bytes", *gatewayCache)
+	}
 
 	if mode != "none" {
 		elog.Event("bootstrap.start", "mode", mode, "members", len(members))
@@ -258,6 +296,12 @@ func runServe(args []string) error {
 	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
 	sig := <-sigCh
 	elog.Event("serve.signal", "signal", sig.String())
+	if gsrv != nil {
+		if err := gsrv.Close(); err != nil {
+			elog.Event("gateway.close-error", "err", err.Error())
+		}
+		elog.Event("gateway.stop", "addr", gsrv.Addr())
+	}
 	if err := srv.Close(); err != nil {
 		elog.Event("serve.close-error", "err", err.Error())
 	}

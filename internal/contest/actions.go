@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"time"
 
+	"icistrategy/internal/chain"
+	"icistrategy/internal/gateway"
 	"icistrategy/internal/netx"
 	"icistrategy/internal/workload"
 )
@@ -363,10 +365,12 @@ func (x *run) assertStats(a *Action) error {
 	return nil
 }
 
-// assertRetrieve reassembles a previously distributed block through the
-// via= members, requiring success or (expect=fail) a verification-level
-// refusal. A retrieved block must carry exactly the transactions the
-// original did.
+// assertRetrieve reassembles a previously distributed block, requiring
+// success or (expect=fail) a verification-level refusal. With via= it reads
+// directly through the member cluster path; with gateway=NODE it reads
+// through that node's client gateway (which must run with gateway=true),
+// also fetching and verifying a light-client proof for one transaction. A
+// retrieved block must carry exactly the transactions the original did.
 func (x *run) assertRetrieve(a *Action) error {
 	idx, err := optInt(a, "block", 0)
 	if err != nil {
@@ -379,13 +383,23 @@ func (x *run) assertRetrieve(a *Action) error {
 	if expect == "" {
 		expect = "ok"
 	}
-	cl, err := x.viaCluster(a)
-	if err != nil {
-		return err
-	}
-	defer cl.Close()
 	orig := x.blocks[idx]
-	got, err := cl.RetrieveBlock(orig.Header)
+
+	var got *chain.Block
+	var via string
+	if gwName := a.Opts["gateway"]; gwName != "" {
+		via = "gateway " + gwName
+		got, err = x.gatewayRetrieve(gwName, orig, expect == "ok")
+	} else {
+		via = a.Opts["via"]
+		var cl *netx.Cluster
+		cl, err = x.viaCluster(a)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		got, err = cl.RetrieveBlock(orig.Header)
+	}
 	switch expect {
 	case "ok":
 		if err != nil {
@@ -395,7 +409,7 @@ func (x *run) assertRetrieve(a *Action) error {
 			return fmt.Errorf("assert-retrieve block %d: %d txs, want %d", idx, len(got.Txs), len(orig.Txs))
 		}
 		fmt.Fprintf(x.out, "  retrieved block %d (%d txs, verified) via %s\n",
-			idx, len(got.Txs), a.Opts["via"])
+			idx, len(got.Txs), via)
 		return nil
 	case "fail":
 		if err == nil {
@@ -406,6 +420,40 @@ func (x *run) assertRetrieve(a *Action) error {
 	default:
 		return fmt.Errorf("assert-retrieve: expect must be ok or fail, got %q", expect)
 	}
+}
+
+// gatewayRetrieve reads one block through a node's client gateway; when the
+// read is expected to succeed it also round-trips a Merkle proof for the
+// block's middle transaction (the gateway client re-verifies it).
+func (x *run) gatewayRetrieve(name string, orig *chain.Block, withProof bool) (*chain.Block, error) {
+	n, err := x.lookupNode(name)
+	if err != nil {
+		return nil, err
+	}
+	if n.gwAddr == "" {
+		return nil, fmt.Errorf("node %s does not declare gateway=true", name)
+	}
+	c, err := gateway.DialClient(n.gwAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dial gateway %s: %w", name, err)
+	}
+	defer c.Close()
+	got, err := c.GetBlock(orig.Hash())
+	if err != nil {
+		return nil, err
+	}
+	if !withProof || len(orig.Txs) == 0 {
+		return got, nil
+	}
+	tx := orig.Txs[len(orig.Txs)/2]
+	p, err := c.GetTxProof(orig.Hash(), tx.ID())
+	if err != nil {
+		return nil, fmt.Errorf("gateway proof: %w", err)
+	}
+	if p.Tx.ID() != tx.ID() {
+		return nil, fmt.Errorf("gateway proof: proved tx %s, want %s", p.Tx.ID().Short(), tx.ID().Short())
+	}
+	return got, nil
 }
 
 // assertLiveness checks whether a node's listener answers a stats

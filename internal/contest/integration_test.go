@@ -63,6 +63,7 @@ func TestScenarioBootstrap(t *testing.T)    { runScenario(t, "../../scenarios/bo
 func TestScenarioCrashRestart(t *testing.T) { runScenario(t, "../../scenarios/crash-restart.cont") }
 func TestScenarioMembership(t *testing.T)   { runScenario(t, "../../scenarios/membership.cont") }
 func TestScenarioByzantine(t *testing.T)    { runScenario(t, "../../scenarios/byzantine.cont") }
+func TestScenarioGateway(t *testing.T)      { runScenario(t, "../../scenarios/gateway.cont") }
 
 // TestBrokenScenarioFails is the harness's negative self-test: a scenario
 // with an impossible assertion MUST fail, and the failure must carry the

@@ -43,6 +43,7 @@ const (
 type node struct {
 	def      *NodeDef
 	addr     string
+	gwAddr   string // read-gateway listen address; "" unless def.Gateway
 	stateDir string
 
 	cmd     *exec.Cmd
@@ -70,7 +71,7 @@ type run struct {
 	blocks  []*chain.Block
 }
 
-var readyRe = regexp.MustCompile(`^ICINET READY addr=(\S+) id=(\d+)$`)
+var readyRe = regexp.MustCompile(`^ICINET READY addr=(\S+) id=(\d+)(?: gateway=(\S+))?$`)
 
 // Run executes the scenario: allocates every member's address up front,
 // walks the stages in order, and tears all surviving processes down before
@@ -116,6 +117,13 @@ func (rn *Runner) Run(sc *Scenario) (err error) {
 			def:      nd,
 			addr:     fmt.Sprintf("127.0.0.1:%d", port),
 			stateDir: filepath.Join(dir, nd.Name),
+		}
+		if nd.Gateway {
+			gwPort, perr := freePort()
+			if perr != nil {
+				return fmt.Errorf("contest: allocate gateway port for %s: %w", nd.Name, perr)
+			}
+			n.gwAddr = fmt.Sprintf("127.0.0.1:%d", gwPort)
 		}
 		if err := os.MkdirAll(n.stateDir, 0o755); err != nil {
 			return fmt.Errorf("contest: state dir for %s: %w", nd.Name, err)
@@ -199,6 +207,9 @@ func (x *run) startNode(n *node, timeout time.Duration) error {
 	if n.def.Chaos {
 		args = append(args, "-chaos")
 	}
+	if n.def.Gateway {
+		args = append(args, "-gateway", n.gwAddr)
+	}
 	cmd := exec.Command(x.rn.IcinetPath, args...)
 	var echo io.Writer
 	if x.rn.Verbose {
@@ -243,6 +254,11 @@ func (x *run) startNode(n *node, timeout time.Duration) error {
 		_ = cmd.Process.Kill()
 		<-n.done
 		return fmt.Errorf("node %s reported addr %s, expected %s", n.def.Name, m[1], n.addr)
+	}
+	if n.def.Gateway && m[3] != n.gwAddr {
+		_ = cmd.Process.Kill()
+		<-n.done
+		return fmt.Errorf("node %s reported gateway %q, expected %s", n.def.Name, m[3], n.gwAddr)
 	}
 	n.up = true
 	n.runs++
@@ -357,6 +373,11 @@ func (x *run) expandAction(a *Action) (*Action, error) {
 				return strconv.Itoa(n.def.ID), true
 			case "state":
 				return n.stateDir, true
+			case "gateway":
+				if n.gwAddr == "" {
+					return "", false
+				}
+				return n.gwAddr, true
 			}
 		}
 		return "", false

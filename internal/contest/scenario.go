@@ -13,15 +13,15 @@
 //	replication R
 //	vars
 //	    key value with spaces allowed
-//	node NAME [resync=auto|join|restart|none] [chaos=true] [id=N]
+//	node NAME [resync=auto|join|restart|none] [chaos=true] [gateway=true] [id=N]
 //	stage NAME
 //	    action args... key=value...
 //
 // Top-level directives start in column zero; indented lines belong to the
 // most recent vars or stage block. Values may reference `${var}` (from the
 // vars block) and the runtime builtins `${node.NAME.addr}`,
-// `${node.NAME.id}`, `${node.NAME.state}`, `${scenario.name}` and
-// `${scenario.dir}`.
+// `${node.NAME.id}`, `${node.NAME.state}`, `${node.NAME.gateway}` (for
+// gateway=true nodes), `${scenario.name}` and `${scenario.dir}`.
 //
 // Action vocabulary (see actions.go for execution semantics):
 //
@@ -38,7 +38,7 @@
 //	                         [rate=1] [delay=20ms] [seed=1] [min=1]
 //	assert-stats NODE FIELD OP VALUE         fields: headers, chunks,
 //	                                         header-bytes, chunk-bytes
-//	assert-retrieve          block=N via=n0,n1 [expect=ok|fail]
+//	assert-retrieve          block=N via=n0,n1 | gateway=NODE [expect=ok|fail]
 //	assert-down NODE...
 //	assert-up NODE...
 package contest
@@ -64,11 +64,12 @@ type Scenario struct {
 
 // NodeDef declares one cluster member process.
 type NodeDef struct {
-	Name   string
-	ID     int    // placement id; defaults to definition order
-	Resync string // icinet -resync mode; defaults to "auto"
-	Chaos  bool   // start with -chaos (honor fault-injection ops)
-	Line   int
+	Name    string
+	ID      int    // placement id; defaults to definition order
+	Resync  string // icinet -resync mode; defaults to "auto"
+	Chaos   bool   // start with -chaos (honor fault-injection ops)
+	Gateway bool   // also serve the read gateway (-gateway) on a second port
+	Line    int
 }
 
 // Stage is a named sequence of actions; stages run strictly in order.
@@ -109,7 +110,7 @@ var actionSpecs = map[string]actionSpec{
 	"bootstrap-member": {opts: []string{"node", "via", "min"}, required: []string{"node", "via"}},
 	"inject-fault":     {minArgs: 1, maxArgs: 1, opts: []string{"kind", "rate", "delay", "seed", "min"}, required: []string{"kind"}},
 	"assert-stats":     {minArgs: 4, maxArgs: 4},
-	"assert-retrieve":  {opts: []string{"block", "via", "expect"}, required: []string{"via"}},
+	"assert-retrieve":  {opts: []string{"block", "via", "expect", "gateway"}},
 	"assert-down":      {minArgs: 1, maxArgs: -1},
 	"assert-up":        {minArgs: 1, maxArgs: -1},
 }
@@ -250,6 +251,12 @@ func parseNode(fields []string, line int) (*NodeDef, error) {
 				return nil, fmt.Errorf("bad chaos value %q", val)
 			}
 			nd.Chaos = b
+		case "gateway":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return nil, fmt.Errorf("bad gateway value %q", val)
+			}
+			nd.Gateway = b
 		default:
 			return nil, fmt.Errorf("unknown node option %q", key)
 		}
@@ -284,6 +291,13 @@ func parseAction(fields []string, line int) (*Action, error) {
 	for _, req := range spec.required {
 		if _, ok := act.Opts[req]; !ok {
 			return nil, fmt.Errorf("%s requires the %s= option", verb, req)
+		}
+	}
+	if verb == "assert-retrieve" {
+		_, viaOK := act.Opts["via"]
+		_, gwOK := act.Opts["gateway"]
+		if viaOK == gwOK {
+			return nil, fmt.Errorf("assert-retrieve requires exactly one of via= or gateway=")
 		}
 	}
 	return act, nil
@@ -360,6 +374,9 @@ func (a *Action) nodeRefs() []string {
 		refs = append(refs, a.Args[0])
 	}
 	if v, ok := a.Opts["node"]; ok {
+		refs = append(refs, v)
+	}
+	if v, ok := a.Opts["gateway"]; ok && !strings.Contains(v, "${") {
 		refs = append(refs, v)
 	}
 	if v, ok := a.Opts["via"]; ok && !strings.Contains(v, "${") {

@@ -88,6 +88,10 @@ func TestParseScenarioErrors(t *testing.T) {
 		{"arity", "scenario x\nnode n0\nstage s\n    wait-log n0\n", "at least 2"},
 		{"missing required opt", "scenario x\nnode n0\nstage s\n    distribute blocks=1\n", "requires the via= option"},
 		{"duplicate opt", "scenario x\nnode n0\nstage s\n    start n0 timeout=1s timeout=2s\n", "duplicate option"},
+		{"bad gateway value", "scenario x\nnode n0 gateway=perhaps\nstage s\n    start n0\n", "bad gateway value"},
+		{"retrieve no source", "scenario x\nnode n0\nstage s\n    assert-retrieve block=0\n", "exactly one of via= or gateway="},
+		{"retrieve both sources", "scenario x\nnode n0\nstage s\n    assert-retrieve via=n0 gateway=n0\n", "exactly one of via= or gateway="},
+		{"retrieve unknown gateway", "scenario x\nnode n0\nstage s\n    assert-retrieve gateway=n9\n", `unknown node "n9"`},
 	}
 	for _, c := range cases {
 		_, err := ParseScenario(c.src, c.name+".cont")
@@ -107,6 +111,7 @@ func TestParseShippedScenarios(t *testing.T) {
 		"../../scenarios/crash-restart.cont",
 		"../../scenarios/membership.cont",
 		"../../scenarios/byzantine.cont",
+		"../../scenarios/gateway.cont",
 		"testdata/broken.cont",
 	} {
 		if _, err := ParseScenarioFile(f); err != nil {

@@ -36,6 +36,9 @@ type protoCounters struct {
 	staleResponses  *metrics.Counter // ici.retrieve.stale_responses: answers to superseded rounds
 	retrievedBlocks *metrics.Counter // ici.retrieve.bytes: reassembled body bytes
 
+	// light-client inclusion queries.
+	txqueryStale *metrics.Counter // ici.txquery.stale_responses: proof answers to superseded rounds
+
 	// bootstrap.
 	bootstraps      *metrics.Counter // ici.bootstrap.joins: Bootstrap calls
 	headerRounds    *metrics.Counter // ici.bootstrap.header_rounds: header requests sent
@@ -76,6 +79,8 @@ func newProtoCounters(reg *metrics.Registry) *protoCounters {
 		retrieveFailed:  reg.Counter("ici.retrieve.failures"),
 		staleResponses:  reg.Counter("ici.retrieve.stale_responses"),
 		retrievedBlocks: reg.Counter("ici.retrieve.bytes"),
+
+		txqueryStale: reg.Counter("ici.txquery.stale_responses"),
 
 		bootstraps:      reg.Counter("ici.bootstrap.joins"),
 		headerRounds:    reg.Counter("ici.bootstrap.header_rounds"),

@@ -41,18 +41,21 @@ func (p TxProof) Verify() error {
 	return chain.VerifyProof(p.Header.MerkleRoot, p.Tx.ID(), p.Proof)
 }
 
-// getTxProofMsg asks for a proof of txID inside block.
+// getTxProofMsg asks for a proof of txID inside block. Round tags the
+// broadcast round so late answers to a superseded round are recognizable.
 type getTxProofMsg struct {
 	Block blockcrypto.Hash
 	TxID  blockcrypto.Hash
 	ReqID uint64
+	Round int
 }
 
 // txProofMsg answers a proof query. Found is false when this member's
-// chunks do not contain the transaction.
+// chunks do not contain the transaction. Round echoes the query's round.
 type txProofMsg struct {
 	Block blockcrypto.Hash
 	ReqID uint64
+	Round int
 	Found bool
 	Tx    *chain.Transaction
 	Proof chain.Proof
@@ -115,7 +118,7 @@ func (n *Node) broadcastTxQuery(net *simnet.Network, req uint64, st *txQueryStat
 		st.waiting++
 		_ = net.Send(simnet.Message{
 			From: n.id, To: m, Kind: KindGetTxProof,
-			Size: reqOverhead, Payload: getTxProofMsg{Block: st.block, TxID: st.txID, ReqID: req},
+			Size: reqOverhead, Payload: getTxProofMsg{Block: st.block, TxID: st.txID, ReqID: req, Round: st.attempts},
 		})
 	}
 	if st.waiting == 0 {
@@ -168,7 +171,7 @@ func (n *Node) localTxProof(block, txID blockcrypto.Hash) (TxProof, bool) {
 
 // onGetTxProof serves an inclusion query from this node's stored chunks.
 func (n *Node) onGetTxProof(net *simnet.Network, from simnet.NodeID, m getTxProofMsg) {
-	resp := txProofMsg{Block: m.Block, ReqID: m.ReqID}
+	resp := txProofMsg{Block: m.Block, ReqID: m.ReqID, Round: m.Round}
 	if proof, ok := n.localTxProof(m.Block, m.TxID); ok {
 		resp.Found = true
 		resp.Tx = proof.Tx
@@ -181,18 +184,31 @@ func (n *Node) onGetTxProof(net *simnet.Network, from simnet.NodeID, m getTxProo
 }
 
 // onTxProof consumes one member's answer to an inclusion query.
+//
+// Same stale-round discipline as onBlockChunks: an answer tagged with a
+// superseded round may still complete the query when it carries a verified
+// proof (data speaks for itself), but it must not mark the member as
+// having answered the current round or decrement waiting — otherwise a
+// slow round-1 negative arriving during round 2 can drive waiting to zero
+// and fire the definitive not-found while round-2 answers (possibly
+// positive) are still in flight.
 func (n *Node) onTxProof(net *simnet.Network, from simnet.NodeID, m txProofMsg) {
 	st, ok := n.txQueries[m.ReqID]
 	if !ok || st.done || st.block != m.Block {
 		return
 	}
-	if st.responded[from] {
+	stale := m.Round != st.attempts
+	if stale {
+		n.metrics.StaleResponses.Inc()
+		n.pc.txqueryStale.Inc()
+	} else if st.responded[from] {
 		n.metrics.DuplicateResponses.Inc()
 		return
+	} else {
+		st.responded[from] = true
+		st.waiting--
 	}
-	st.responded[from] = true
 	req := m.ReqID
-	st.waiting--
 	if m.Found && m.Tx != nil && m.Tx.ID() == st.txID {
 		hdr, err := n.store.Header(st.block)
 		if err == nil {
@@ -204,6 +220,9 @@ func (n *Node) onTxProof(net *simnet.Network, from simnet.NodeID, m txProofMsg) 
 				return
 			}
 		}
+	}
+	if stale {
+		return
 	}
 	if st.waiting == 0 {
 		st.done = true

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"icistrategy/internal/gateway"
+	"icistrategy/internal/metrics"
+)
+
+// GatewayLoadConfig maps the suite parameters onto one gateway load run.
+// cacheBytes <= 0 disables the gateway caches, which is how the cache-off
+// baseline of E15 (and of icibench -gatewaybench) is produced.
+func (p Params) GatewayLoadConfig(cacheBytes int64) gateway.LoadConfig {
+	return gateway.LoadConfig{
+		Servers:      p.GatewayServers,
+		Replication:  p.GatewayReplication,
+		Blocks:       p.GatewayBlocks,
+		TxPerBlock:   p.GatewayTxPerBlock,
+		PayloadBytes: p.ProtoPayload,
+		Clients:      p.GatewayClients,
+		Requests:     p.GatewayRequests,
+		ZipfS:        p.GatewayZipfS,
+		Seed:         p.Seed,
+		CacheBytes:   cacheBytes,
+		ProofEvery:   p.GatewayProofEvery,
+	}
+}
+
+// E15GatewayLatency measures the read-path gateway under sustained Zipfian
+// load: the same closed-loop workload is driven twice over a real TCP
+// storage cluster, once with the gateway caches enabled and once with them
+// off, and the table reports QPS, tail latency, hit rate, and upstream
+// traffic for both modes. Unlike E1-E14 this experiment measures wall-clock
+// throughput, so its numbers vary run to run; the structural claims (cache
+// on serves more QPS from fewer upstream RPCs) are what the row pair shows.
+func E15GatewayLatency(p Params) (*metrics.Table, error) {
+	on, err := gateway.RunLoad(p.GatewayLoadConfig(p.GatewayCacheBytes))
+	if err != nil {
+		return nil, err
+	}
+	off, err := gateway.RunLoad(p.GatewayLoadConfig(0))
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("E15: gateway read path under Zipfian load",
+		"cache", "requests", "errors", "qps", "p50_ms", "p90_ms", "p99_ms",
+		"hit_rate", "upstream_rpcs", "batched_refs", "coalesced")
+	for _, row := range []struct {
+		mode string
+		rep  gateway.LoadReport
+	}{{"on", on}, {"off", off}} {
+		t.AddRow(row.mode, row.rep.Requests, row.rep.Errors,
+			fmt.Sprintf("%.0f", row.rep.QPS),
+			fmt.Sprintf("%.3f", row.rep.P50Millis),
+			fmt.Sprintf("%.3f", row.rep.P90Millis),
+			fmt.Sprintf("%.3f", row.rep.P99Millis),
+			fmt.Sprintf("%.3f", row.rep.HitRate),
+			row.rep.UpstreamRPCs, row.rep.BatchedRefs, row.rep.Coalesced)
+	}
+	return t, nil
+}

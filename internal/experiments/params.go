@@ -44,6 +44,17 @@ type Params struct {
 	// Availability (E7).
 	AvailTrials int // Monte-Carlo trials per point
 
+	// Gateway load (E15) — real-TCP read path under Zipfian popularity.
+	GatewayServers     int     // storage servers behind the gateway
+	GatewayReplication int     // chunk replication in the gateway cluster
+	GatewayBlocks      int     // chain length served
+	GatewayTxPerBlock  int     // transactions per served block
+	GatewayClients     int     // closed-loop client concurrency
+	GatewayRequests    int     // total requests per run
+	GatewayZipfS       float64 // key-popularity skew
+	GatewayCacheBytes  int64   // per-cache budget for the cache-on run
+	GatewayProofEvery  int     // every Nth request is a light-client proof
+
 	// Tracer, when non-nil, is threaded into every protocol-scale system the
 	// suite builds, so a whole icibench run can be traced end to end (E14
 	// always records into its own private recorder regardless).
@@ -74,6 +85,16 @@ func Defaults() Params {
 		ProtoClusterSizes: []int{4, 8, 16, 32, 64},
 		ProtoClusterCount: []int{2, 4, 8, 16},
 		AvailTrials:       300,
+
+		GatewayServers:     8,
+		GatewayReplication: 2,
+		GatewayBlocks:      48,
+		GatewayTxPerBlock:  96,
+		GatewayClients:     16,
+		GatewayRequests:    2400,
+		GatewayZipfS:       1.1,
+		GatewayCacheBytes:  4 << 20,
+		GatewayProofEvery:  8,
 	}
 }
 
@@ -98,6 +119,16 @@ func Quick() Params {
 		ProtoClusterSizes: []int{4, 8, 16},
 		ProtoClusterCount: []int{2, 4},
 		AvailTrials:       50,
+
+		GatewayServers:     3,
+		GatewayReplication: 2,
+		GatewayBlocks:      6,
+		GatewayTxPerBlock:  12,
+		GatewayClients:     4,
+		GatewayRequests:    80,
+		GatewayZipfS:       1.1,
+		GatewayCacheBytes:  1 << 20,
+		GatewayProofEvery:  10,
 	}
 }
 

@@ -30,6 +30,7 @@ func All() []Experiment {
 		{ID: "E12", Name: "repair cost after departure (extension)", Run: E12RepairCost},
 		{ID: "E13", Name: "erasure coding throughput (extension)", Run: E13CodingThroughput},
 		{ID: "E14", Name: "per-phase trace breakdown (extension)", Run: E14TraceBreakdown},
+		{ID: "E15", Name: "gateway read path under Zipfian load (extension)", Run: E15GatewayLatency},
 	}
 }
 

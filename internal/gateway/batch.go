@@ -1,0 +1,106 @@
+package gateway
+
+import (
+	"sync"
+
+	"icistrategy/internal/metrics"
+	"icistrategy/internal/netx"
+)
+
+// chunkResult is one answer delivered to a batch subscriber.
+type chunkResult struct {
+	chunk *netx.ChunkResp // nil when the peer does not hold the chunk
+	err   error           // transport failure talking to the peer
+}
+
+// batcher coalesces chunk wants for the same peer into shared round trips:
+// while one GetChunkBatch RPC is in flight to a peer, every want that
+// arrives for that peer accumulates and rides the next RPC together —
+// cross-request batching with no timers, so an idle gateway adds zero
+// latency and a busy one amortizes round trips across requests.
+type batcher struct {
+	up    Upstream
+	rpcs  *metrics.Counter // ici.gateway.batch.rpcs
+	refs  *metrics.Counter // ici.gateway.batch.refs
+	mu    sync.Mutex
+	peers map[int]*peerQueue
+}
+
+type peerQueue struct {
+	mu       sync.Mutex
+	pending  map[netx.ChunkRef][]chan chunkResult
+	inflight bool
+}
+
+func newBatcher(up Upstream, rpcs, refs *metrics.Counter) *batcher {
+	return &batcher{up: up, rpcs: rpcs, refs: refs, peers: make(map[int]*peerQueue)}
+}
+
+func (b *batcher) queue(peer int) *peerQueue {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q, ok := b.peers[peer]
+	if !ok {
+		q = &peerQueue{pending: make(map[netx.ChunkRef][]chan chunkResult)}
+		b.peers[peer] = q
+	}
+	return q
+}
+
+// Fetch asks peer for ref, sharing wire round trips with every concurrent
+// Fetch to the same peer. Identical refs wanted by several callers are
+// deduplicated onto one wire slot and fanned back out.
+func (b *batcher) Fetch(peer int, ref netx.ChunkRef) (*netx.ChunkResp, error) {
+	ch := make(chan chunkResult, 1)
+	q := b.queue(peer)
+	q.mu.Lock()
+	q.pending[ref] = append(q.pending[ref], ch)
+	drain := !q.inflight
+	if drain {
+		q.inflight = true
+	}
+	q.mu.Unlock()
+	if drain {
+		go b.drain(peer, q)
+	}
+	res := <-ch
+	return res.chunk, res.err
+}
+
+// drain issues batched RPCs for peer until no wants remain. Wants that
+// arrive while an RPC is in flight are picked up by the next loop
+// iteration; the inflight flag guarantees exactly one drainer per peer.
+func (b *batcher) drain(peer int, q *peerQueue) {
+	for {
+		q.mu.Lock()
+		if len(q.pending) == 0 {
+			q.inflight = false
+			q.mu.Unlock()
+			return
+		}
+		batch := q.pending
+		q.pending = make(map[netx.ChunkRef][]chan chunkResult)
+		q.mu.Unlock()
+
+		refs := make([]netx.ChunkRef, 0, len(batch))
+		for ref := range batch {
+			refs = append(refs, ref)
+		}
+		b.rpcs.Inc()
+		b.refs.Add(int64(len(refs)))
+		resp, err := b.up.FetchBatch(peer, refs)
+		for i, ref := range refs {
+			var res chunkResult
+			switch {
+			case err != nil:
+				res = chunkResult{err: err}
+			case resp.Found[i]:
+				chunk := resp.Chunks[i]
+				res = chunkResult{chunk: &chunk}
+			}
+			for _, ch := range batch[ref] {
+				ch <- res
+			}
+		}
+	}
+}

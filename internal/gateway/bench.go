@@ -1,0 +1,209 @@
+package gateway
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"icistrategy/internal/chain"
+	"icistrategy/internal/metrics"
+	"icistrategy/internal/netx"
+	"icistrategy/internal/workload"
+)
+
+// LoadConfig parameterizes a sustained-QPS gateway load run: an in-process
+// storage cluster of real TCP servers, a chain distributed across it, and
+// closed-loop clients issuing block reads with Zipfian key popularity.
+type LoadConfig struct {
+	// Servers is the storage-cluster size; Replication the chunk copies.
+	Servers     int
+	Replication int
+	// Blocks and TxPerBlock shape the chain under test.
+	Blocks     int
+	TxPerBlock int
+	// PayloadBytes pads each transaction (see workload.Config).
+	PayloadBytes int
+	// Clients is the closed-loop concurrency; Requests the total issued.
+	Clients  int
+	Requests int
+	// ZipfS skews block popularity (0 = uniform).
+	ZipfS float64
+	// Seed drives the workload and the key-popularity sampling.
+	Seed uint64
+	// CacheBytes bounds each gateway cache; <= 0 runs with caching off.
+	CacheBytes int64
+	// ProofEvery issues a light-client proof query instead of a block read
+	// every Nth request (0 disables proof traffic).
+	ProofEvery int
+}
+
+// LoadReport is the measured outcome of one load run.
+type LoadReport struct {
+	Requests     int     `json:"requests"`
+	Errors       int     `json:"errors"`
+	Seconds      float64 `json:"seconds"`
+	QPS          float64 `json:"qps"`
+	P50Millis    float64 `json:"p50_ms"`
+	P90Millis    float64 `json:"p90_ms"`
+	P99Millis    float64 `json:"p99_ms"`
+	MaxMillis    float64 `json:"max_ms"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	HitRate      float64 `json:"hit_rate"`
+	UpstreamRPCs int64   `json:"upstream_rpcs"`
+	BatchedRefs  int64   `json:"batched_refs"`
+	Coalesced    int64   `json:"coalesced"`
+}
+
+// RunLoad stands up a real TCP storage cluster, distributes a seeded
+// chain, and drives the gateway with concurrent closed-loop clients whose
+// block choices follow a Zipf law. It returns latency percentiles, QPS,
+// and the gateway's cache/batching accounting for the run.
+func RunLoad(cfg LoadConfig) (LoadReport, error) {
+	if cfg.Servers < 1 || cfg.Blocks < 1 || cfg.Clients < 1 || cfg.Requests < 1 {
+		return LoadReport{}, fmt.Errorf("gateway: bad load config %+v", cfg)
+	}
+	servers := make([]*netx.Server, cfg.Servers)
+	addrs := make([]string, cfg.Servers)
+	for i := range servers {
+		s, err := netx.NewServer("127.0.0.1:0")
+		if err != nil {
+			return LoadReport{}, err
+		}
+		defer s.Close()
+		servers[i] = s
+		addrs[i] = s.Addr()
+	}
+
+	gen, err := workload.NewGenerator(workload.Config{
+		Accounts: 64, PayloadBytes: cfg.PayloadBytes, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return LoadReport{}, err
+	}
+	cb, err := workload.NewChainBuilder(gen, 10_000)
+	if err != nil {
+		return LoadReport{}, err
+	}
+	cl, err := netx.NewCluster(addrs, cfg.Replication)
+	if err != nil {
+		return LoadReport{}, err
+	}
+	defer cl.Close()
+	blocks := make([]*chain.Block, cfg.Blocks)
+	for i := range blocks {
+		b, err := cb.NextBlock(cfg.TxPerBlock)
+		if err != nil {
+			return LoadReport{}, err
+		}
+		if err := cl.DistributeBlock(b); err != nil {
+			return LoadReport{}, err
+		}
+		blocks[i] = b
+	}
+
+	up, err := NewClusterUpstream(addrs, cfg.Replication)
+	if err != nil {
+		return LoadReport{}, err
+	}
+	defer up.Close()
+	reg := metrics.NewRegistry()
+	g, err := New(Config{
+		Upstream:        up,
+		BlockCacheBytes: cfg.CacheBytes,
+		ChunkCacheBytes: cfg.CacheBytes,
+		Registry:        reg,
+	})
+	if err != nil {
+		return LoadReport{}, err
+	}
+
+	// Each client owns an independent picker fork so the popularity law is
+	// identical regardless of concurrency.
+	perClient := cfg.Requests / cfg.Clients
+	latencies := make([][]time.Duration, cfg.Clients)
+	clientErrs := make([]int, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < cfg.Clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			picker, perr := workload.NewZipfPicker(cfg.Blocks, cfg.ZipfS, cfg.Seed+uint64(ci)*7919)
+			if perr != nil {
+				clientErrs[ci] = perClient
+				return
+			}
+			lats := make([]time.Duration, 0, perClient)
+			for r := 0; r < perClient; r++ {
+				b := blocks[picker.Pick()]
+				t0 := time.Now()
+				var err error
+				if cfg.ProofEvery > 0 && r%cfg.ProofEvery == cfg.ProofEvery-1 {
+					tx := b.Txs[r%len(b.Txs)]
+					_, err = g.GetTxProof(b.Hash(), tx.ID())
+				} else {
+					var got *chain.Block
+					got, err = g.GetBlock(b.Hash())
+					if err == nil && got.Hash() != b.Hash() {
+						err = fmt.Errorf("gateway: wrong block served")
+					}
+				}
+				if err != nil {
+					clientErrs[ci]++
+					continue
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			latencies[ci] = lats
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	errs := 0
+	for ci := range latencies {
+		all = append(all, latencies[ci]...)
+		errs += clientErrs[ci]
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	snap := reg.Snapshot()
+	hits := int64(snap["ici.gateway.block_cache.hits"] + snap["ici.gateway.chunk_cache.hits"])
+	misses := int64(snap["ici.gateway.block_cache.misses"] + snap["ici.gateway.chunk_cache.misses"])
+	rep := LoadReport{
+		Requests:     len(all),
+		Errors:       errs,
+		Seconds:      elapsed.Seconds(),
+		QPS:          float64(len(all)) / elapsed.Seconds(),
+		P50Millis:    percentileMillis(all, 0.50),
+		P90Millis:    percentileMillis(all, 0.90),
+		P99Millis:    percentileMillis(all, 0.99),
+		MaxMillis:    percentileMillis(all, 1.0),
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		UpstreamRPCs: int64(snap["ici.gateway.batch.rpcs"]),
+		BatchedRefs:  int64(snap["ici.gateway.batch.refs"]),
+		Coalesced:    int64(snap["ici.gateway.coalesced"]),
+	}
+	if hits+misses > 0 {
+		rep.HitRate = float64(hits) / float64(hits+misses)
+	}
+	return rep, nil
+}
+
+// percentileMillis reads the p-quantile from sorted latencies.
+func percentileMillis(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i]) / float64(time.Millisecond)
+}

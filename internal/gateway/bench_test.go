@@ -1,0 +1,55 @@
+package gateway
+
+import "testing"
+
+// TestRunLoadSmoke exercises the full load harness at a tiny scale: the
+// run must complete without errors, record every request, and show the
+// cache absorbing the Zipf-skewed re-reads.
+func TestRunLoadSmoke(t *testing.T) {
+	rep, err := RunLoad(LoadConfig{
+		Servers: 3, Replication: 2,
+		Blocks: 6, TxPerBlock: 10, PayloadBytes: 16,
+		Clients: 4, Requests: 80,
+		ZipfS: 1.1, Seed: 5,
+		CacheBytes: 1 << 20,
+		ProofEvery: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d request errors", rep.Errors)
+	}
+	if rep.Requests != 80 {
+		t.Fatalf("requests = %d, want 80", rep.Requests)
+	}
+	if rep.QPS <= 0 || rep.P50Millis < 0 || rep.P99Millis < rep.P50Millis {
+		t.Fatalf("nonsensical report: %+v", rep)
+	}
+	if rep.CacheHits == 0 {
+		t.Fatal("Zipf re-reads produced zero cache hits")
+	}
+
+	// Cache off: the identical workload must touch upstream for every
+	// block read.
+	off, err := RunLoad(LoadConfig{
+		Servers: 3, Replication: 2,
+		Blocks: 6, TxPerBlock: 10, PayloadBytes: 16,
+		Clients: 4, Requests: 80,
+		ZipfS: 1.1, Seed: 5,
+		CacheBytes: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Errors != 0 {
+		t.Fatalf("cache-off run: %d errors", off.Errors)
+	}
+	if off.CacheHits != 0 {
+		t.Fatalf("cache-off run recorded %d hits", off.CacheHits)
+	}
+	if off.UpstreamRPCs <= rep.UpstreamRPCs {
+		t.Fatalf("cache off (%d RPCs) should cost more upstream traffic than cache on (%d)",
+			off.UpstreamRPCs, rep.UpstreamRPCs)
+	}
+}

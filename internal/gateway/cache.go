@@ -1,0 +1,115 @@
+package gateway
+
+import (
+	"container/list"
+	"sync"
+
+	"icistrategy/internal/metrics"
+)
+
+// admissionDiv sets the size-based admission threshold: an entry larger
+// than capacity/admissionDiv is rejected outright. One oversized block must
+// not flush a whole working set of hot chunks to make room for itself.
+const admissionDiv = 4
+
+// cacheCounters is the observable surface of one LRU instance; the gateway
+// resolves them under ici.gateway.block_cache.* / ici.gateway.chunk_cache.*.
+type cacheCounters struct {
+	hits      *metrics.Counter
+	misses    *metrics.Counter
+	evictions *metrics.Counter
+	rejected  *metrics.Counter // admissions refused by the size filter
+}
+
+// lruCache is a byte-bounded LRU with size-based admission control, safe
+// for concurrent use. Values are cached as-is; callers must not mutate
+// what they Get.
+type lruCache struct {
+	mu       sync.Mutex
+	capacity int64
+	maxEntry int64
+	size     int64
+	order    *list.List // front = most recent
+	entries  map[string]*list.Element
+	ctr      cacheCounters
+}
+
+type cacheEntry struct {
+	key  string
+	val  any
+	size int64
+}
+
+// newLRUCache builds a cache bounded to capacity bytes; capacity <= 0
+// yields a disabled cache (every Get misses, every Put is rejected), so an
+// uncached gateway runs the identical code path.
+func newLRUCache(capacity int64, ctr cacheCounters) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		maxEntry: capacity / admissionDiv,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+		ctr:      ctr,
+	}
+}
+
+// Get returns the cached value and promotes it to most-recently-used.
+func (c *lruCache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.ctr.misses.Inc()
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.ctr.hits.Inc()
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put admits a value of the given size, evicting from the cold end until
+// it fits. Oversized entries (see admissionDiv) are rejected, as is any
+// entry when the cache is disabled.
+func (c *lruCache) Put(key string, val any, size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size <= 0 || size > c.maxEntry {
+		c.ctr.rejected.Inc()
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		// Refresh in place; adjust accounting for a changed size.
+		ent := el.Value.(*cacheEntry)
+		c.size += size - ent.size
+		ent.val, ent.size = val, size
+		c.order.MoveToFront(el)
+	} else {
+		c.entries[key] = c.order.PushFront(&cacheEntry{key: key, val: val, size: size})
+		c.size += size
+	}
+	for c.size > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.entries, ent.key)
+		c.size -= ent.size
+		c.ctr.evictions.Inc()
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes returns the cached payload bytes.
+func (c *lruCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}

@@ -1,0 +1,299 @@
+// Package gateway is the client-serving read front end of an ICIStrategy
+// storage cluster: a stateless-by-contract cache layer that turns the
+// cluster's chunked, collaborative storage into a low-latency block and
+// light-client API. Three mechanisms carry the load so the cluster itself
+// stays cheap to read from:
+//
+//   - byte-bounded LRU caches for hot chunks and reassembled blocks, with
+//     size-based admission control so one huge block cannot flush the
+//     working set;
+//   - singleflight coalescing, so N concurrent requests for the same cold
+//     block cost exactly one upstream retrieval;
+//   - cross-request batching of chunk fetches to the same peer, so
+//     concurrent misses share wire round trips instead of paying one each.
+//
+// All observable behavior lands in a metrics.Registry under ici.gateway.*.
+package gateway
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/chain"
+	"icistrategy/internal/core"
+	"icistrategy/internal/metrics"
+	"icistrategy/internal/netx"
+)
+
+// Config parameterizes a Gateway.
+type Config struct {
+	// Upstream is the storage cluster to read through (required).
+	Upstream Upstream
+	// BlockCacheBytes bounds the reassembled-block cache; <= 0 disables it.
+	BlockCacheBytes int64
+	// ChunkCacheBytes bounds the hot-chunk cache; <= 0 disables it.
+	ChunkCacheBytes int64
+	// Registry receives ici.gateway.* metrics; nil discards them.
+	Registry *metrics.Registry
+}
+
+// Gateway serves verified block and transaction-proof reads over an
+// ICIStrategy storage cluster. Safe for concurrent use. Cached blocks are
+// shared between callers: treat every *chain.Block it returns as read-only.
+type Gateway struct {
+	up      Upstream
+	blocks  *lruCache
+	chunks  *lruCache
+	flights flightGroup
+	batch   *batcher
+
+	coalesced   *metrics.Counter // ici.gateway.coalesced
+	fetches     *metrics.Counter // ici.gateway.fetches
+	proofs      *metrics.Counter // ici.gateway.txproofs
+	proofsLocal *metrics.Counter // ici.gateway.txproofs_local
+
+	mu       sync.Mutex
+	rotation int // spreads proof queries across peers
+}
+
+// New builds a gateway over the given upstream.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Upstream == nil {
+		return nil, fmt.Errorf("gateway: nil upstream")
+	}
+	reg := cfg.Registry
+	g := &Gateway{
+		up: cfg.Upstream,
+		blocks: newLRUCache(cfg.BlockCacheBytes, cacheCounters{
+			hits:      reg.Counter("ici.gateway.block_cache.hits"),
+			misses:    reg.Counter("ici.gateway.block_cache.misses"),
+			evictions: reg.Counter("ici.gateway.block_cache.evictions"),
+			rejected:  reg.Counter("ici.gateway.block_cache.rejected"),
+		}),
+		chunks: newLRUCache(cfg.ChunkCacheBytes, cacheCounters{
+			hits:      reg.Counter("ici.gateway.chunk_cache.hits"),
+			misses:    reg.Counter("ici.gateway.chunk_cache.misses"),
+			evictions: reg.Counter("ici.gateway.chunk_cache.evictions"),
+			rejected:  reg.Counter("ici.gateway.chunk_cache.rejected"),
+		}),
+		coalesced:   reg.Counter("ici.gateway.coalesced"),
+		fetches:     reg.Counter("ici.gateway.fetches"),
+		proofs:      reg.Counter("ici.gateway.txproofs"),
+		proofsLocal: reg.Counter("ici.gateway.txproofs_local"),
+	}
+	g.batch = newBatcher(cfg.Upstream,
+		reg.Counter("ici.gateway.batch.rpcs"),
+		reg.Counter("ici.gateway.batch.refs"))
+	return g, nil
+}
+
+func blockKey(h blockcrypto.Hash) string { return "b:" + string(h[:]) }
+func chunkKey(h blockcrypto.Hash, idx int) string {
+	return fmt.Sprintf("c:%s:%d", h[:], idx)
+}
+
+// GetBlock returns the full verified block with the given hash, from cache
+// when hot, otherwise by gathering its chunks from the cluster. Concurrent
+// calls for the same cold block coalesce into one upstream retrieval.
+func (g *Gateway) GetBlock(h blockcrypto.Hash) (*chain.Block, error) {
+	key := blockKey(h)
+	if v, ok := g.blocks.Get(key); ok {
+		return v.(*chain.Block), nil
+	}
+	v, err, shared := g.flights.Do(key, func() (any, error) {
+		// Re-check under the flight: a racing caller may have populated the
+		// cache between our miss and winning the flight.
+		if v, ok := g.blocks.Get(key); ok {
+			return v, nil
+		}
+		b, err := g.fetchBlock(h)
+		if err != nil {
+			return nil, err
+		}
+		g.blocks.Put(key, b, int64(b.BodySize()))
+		return b, nil
+	})
+	if shared {
+		g.coalesced.Inc()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v.(*chain.Block), nil
+}
+
+// fetchBlock gathers every chunk of h — cached chunks locally, the rest
+// batched per owning peer — then reassembles and verifies against the
+// header's Merkle root.
+func (g *Gateway) fetchBlock(h blockcrypto.Hash) (*chain.Block, error) {
+	hdr, err := g.up.Header(h)
+	if err != nil {
+		return nil, err
+	}
+	g.fetches.Inc()
+	parts := g.up.Parts()
+	got := make([]*netx.ChunkResp, parts)
+	var missing []int
+	for idx := 0; idx < parts; idx++ {
+		if v, ok := g.chunks.Get(chunkKey(h, idx)); ok {
+			got[idx] = v.(*netx.ChunkResp)
+			continue
+		}
+		missing = append(missing, idx)
+	}
+
+	if len(missing) > 0 {
+		var wg sync.WaitGroup
+		fetched := make([]*netx.ChunkResp, len(missing))
+		for i, idx := range missing {
+			wg.Add(1)
+			go func(i, idx int) {
+				defer wg.Done()
+				fetched[i] = g.fetchChunk(h, idx)
+			}(i, idx)
+		}
+		wg.Wait()
+		for i, idx := range missing {
+			if fetched[i] == nil {
+				continue
+			}
+			got[idx] = fetched[i]
+			g.chunks.Put(chunkKey(h, idx), fetched[i], chunkSize(fetched[i]))
+		}
+	}
+
+	have := 0
+	for _, c := range got {
+		if c != nil {
+			have++
+		}
+	}
+	if have < parts {
+		return nil, fmt.Errorf("%w: have %d of %d for %s", ErrIncomplete, have, parts, h.Short())
+	}
+
+	// Reassemble in transaction order and verify the whole block shape
+	// (including the Merkle root) against the trusted header.
+	order := make([]int, parts)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return got[order[a]].TxStart < got[order[b]].TxStart })
+	var txs []*chain.Transaction
+	for _, idx := range order {
+		part, derr := chain.DecodeBody(got[idx].Data)
+		if derr != nil {
+			return nil, fmt.Errorf("gateway: chunk %d: %w", idx, derr)
+		}
+		txs = append(txs, part...)
+	}
+	b := &chain.Block{Header: hdr, Txs: txs}
+	if err := b.VerifyShape(); err != nil {
+		return nil, fmt.Errorf("gateway: reassembly: %w", err)
+	}
+	return b, nil
+}
+
+// fetchChunk tries each owner of (h, idx) in placement order through the
+// batcher, so concurrent misses against the same peer share round trips.
+// nil means no owner produced the chunk.
+func (g *Gateway) fetchChunk(h blockcrypto.Hash, idx int) *netx.ChunkResp {
+	owners, err := g.up.Owners(h, idx)
+	if err != nil {
+		return nil
+	}
+	ref := netx.ChunkRef{Block: h, Index: idx}
+	for _, peer := range owners {
+		chunk, err := g.batch.Fetch(peer, ref)
+		if err == nil && chunk != nil {
+			return chunk
+		}
+	}
+	return nil
+}
+
+// chunkSize accounts a cached chunk: payload plus proof bytes.
+func chunkSize(c *netx.ChunkResp) int64 {
+	n := int64(len(c.Data))
+	for _, p := range c.Proofs {
+		n += int64(p.EncodedSize())
+	}
+	return n
+}
+
+// GetTxProof answers a light-client inclusion query: the transaction, the
+// header committing to it, and the Merkle proof connecting them. A cached
+// block answers locally; otherwise the cluster's members are queried in
+// rotation, coalescing concurrent queries for the same transaction.
+func (g *Gateway) GetTxProof(block, txID blockcrypto.Hash) (core.TxProof, error) {
+	g.proofs.Inc()
+	if v, ok := g.blocks.Get(blockKey(block)); ok {
+		if p, ok := g.localProof(v.(*chain.Block), txID); ok {
+			g.proofsLocal.Inc()
+			return p, nil
+		}
+		return core.TxProof{}, core.ErrTxNotFound
+	}
+	key := "p:" + string(block[:]) + string(txID[:])
+	v, err, shared := g.flights.Do(key, func() (any, error) {
+		return g.fetchProof(block, txID)
+	})
+	if shared {
+		g.coalesced.Inc()
+	}
+	if err != nil {
+		return core.TxProof{}, err
+	}
+	return v.(core.TxProof), nil
+}
+
+// localProof derives an inclusion proof from a fully cached block.
+func (g *Gateway) localProof(b *chain.Block, txID blockcrypto.Hash) (core.TxProof, bool) {
+	at := -1
+	for i, tx := range b.Txs {
+		if tx.ID() == txID {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		return core.TxProof{}, false
+	}
+	tree, err := chain.TxMerkleTree(b.Txs)
+	if err != nil {
+		return core.TxProof{}, false
+	}
+	proof, err := tree.Prove(at)
+	if err != nil {
+		return core.TxProof{}, false
+	}
+	return core.TxProof{Tx: b.Txs[at], Header: b.Header, Proof: proof}, true
+}
+
+// fetchProof queries peers in rotation until one produces a proof that
+// verifies against the block's header.
+func (g *Gateway) fetchProof(block, txID blockcrypto.Hash) (core.TxProof, error) {
+	hdr, err := g.up.Header(block)
+	if err != nil {
+		return core.TxProof{}, err
+	}
+	parts := g.up.Parts()
+	g.mu.Lock()
+	start := g.rotation
+	g.rotation++
+	g.mu.Unlock()
+	for i := 0; i < parts; i++ {
+		peer := (start + i) % parts
+		resp, err := g.up.TxProof(peer, block, txID)
+		if err != nil || !resp.Found || resp.Tx == nil || resp.Tx.ID() != txID {
+			continue
+		}
+		p := core.TxProof{Tx: resp.Tx, Header: hdr, Proof: resp.Proof}
+		if p.Verify() == nil {
+			return p, nil
+		}
+	}
+	return core.TxProof{}, core.ErrTxNotFound
+}

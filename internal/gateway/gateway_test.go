@@ -1,0 +1,383 @@
+package gateway
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/chain"
+	"icistrategy/internal/core"
+	"icistrategy/internal/metrics"
+	"icistrategy/internal/netx"
+	"icistrategy/internal/workload"
+)
+
+// fakeUpstream holds fully chunked blocks in memory and counts every
+// upstream touch, so tests can assert exactly how much cluster traffic a
+// gateway operation cost. Owners assigns chunk idx to peer idx%n with the
+// remaining peers as fallbacks.
+type fakeUpstream struct {
+	parts   int
+	headers map[blockcrypto.Hash]chain.Header
+	chunks  map[int]map[netx.ChunkRef]netx.ChunkResp // peer -> ref -> chunk
+	txs     map[blockcrypto.Hash][]*chain.Transaction
+
+	headerCalls atomic.Int64
+	batchCalls  atomic.Int64
+	batchRefs   atomic.Int64
+	proofCalls  atomic.Int64
+
+	// gate, when non-nil, blocks every FetchBatch until closed; entered,
+	// when non-nil, receives one (buffered) send as each FetchBatch arrives.
+	gate    chan struct{}
+	entered chan struct{}
+	// lost marks (peer, ref) pairs that answer Found=false.
+	mu   sync.Mutex
+	lost map[int]map[netx.ChunkRef]bool
+}
+
+func newFakeUpstream(t *testing.T, peers, blocks, txPerBlock int) (*fakeUpstream, []*chain.Block) {
+	t.Helper()
+	gen, err := workload.NewGenerator(workload.Config{Accounts: 40, PayloadBytes: 24, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := workload.NewChainBuilder(gen, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := &fakeUpstream{
+		parts:   peers,
+		headers: make(map[blockcrypto.Hash]chain.Header),
+		chunks:  make(map[int]map[netx.ChunkRef]netx.ChunkResp),
+		txs:     make(map[blockcrypto.Hash][]*chain.Transaction),
+		lost:    make(map[int]map[netx.ChunkRef]bool),
+	}
+	for p := 0; p < peers; p++ {
+		u.chunks[p] = make(map[netx.ChunkRef]netx.ChunkResp)
+	}
+	out := make([]*chain.Block, blocks)
+	for bi := range out {
+		b, err := cb.NextBlock(txPerBlock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[bi] = b
+		u.headers[b.Hash()] = b.Header
+		u.txs[b.Hash()] = b.Txs
+		tree, err := chain.TxMerkleTree(b.Txs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts, err := core.SplitCounts(len(b.Txs), peers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		txStart := 0
+		for idx := 0; idx < peers; idx++ {
+			group := b.Txs[txStart : txStart+counts[idx]]
+			proofs := make([]chain.Proof, len(group))
+			for i := range group {
+				proofs[i], err = tree.Prove(txStart + i)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			sub := chain.Block{Txs: group}
+			resp := netx.ChunkResp{
+				Index: idx, Parts: peers, TxStart: txStart,
+				Data: sub.EncodeBody(), Proofs: proofs,
+			}
+			// Every peer holds every chunk; Owners narrows who is asked.
+			for p := 0; p < peers; p++ {
+				u.chunks[p][netx.ChunkRef{Block: b.Hash(), Index: idx}] = resp
+			}
+			txStart += counts[idx]
+		}
+	}
+	return u, out
+}
+
+func (u *fakeUpstream) Parts() int { return u.parts }
+
+func (u *fakeUpstream) Owners(block blockcrypto.Hash, idx int) ([]int, error) {
+	owners := make([]int, u.parts)
+	for i := range owners {
+		owners[i] = (idx + i) % u.parts
+	}
+	return owners, nil
+}
+
+func (u *fakeUpstream) Header(block blockcrypto.Hash) (chain.Header, error) {
+	u.headerCalls.Add(1)
+	h, ok := u.headers[block]
+	if !ok {
+		return chain.Header{}, ErrUnknownBlock
+	}
+	return h, nil
+}
+
+func (u *fakeUpstream) FetchBatch(peer int, refs []netx.ChunkRef) (*netx.ChunkBatchResp, error) {
+	if u.entered != nil {
+		u.entered <- struct{}{}
+	}
+	if u.gate != nil {
+		<-u.gate
+	}
+	u.batchCalls.Add(1)
+	u.batchRefs.Add(int64(len(refs)))
+	resp := &netx.ChunkBatchResp{Found: make([]bool, len(refs)), Chunks: make([]netx.ChunkResp, len(refs))}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for i, ref := range refs {
+		if u.lost[peer][ref] {
+			continue
+		}
+		if c, ok := u.chunks[peer][ref]; ok {
+			resp.Found[i] = true
+			resp.Chunks[i] = c
+		}
+	}
+	return resp, nil
+}
+
+func (u *fakeUpstream) TxProof(peer int, block, txID blockcrypto.Hash) (*netx.TxProofResp, error) {
+	u.proofCalls.Add(1)
+	txs, ok := u.txs[block]
+	if !ok {
+		return &netx.TxProofResp{}, nil
+	}
+	// This fake peer holds chunk indexes where idx%parts maps to it; for
+	// proof simplicity every peer can prove every transaction.
+	tree, err := chain.TxMerkleTree(txs)
+	if err != nil {
+		return nil, err
+	}
+	for i, tx := range txs {
+		if tx.ID() == txID {
+			p, err := tree.Prove(i)
+			if err != nil {
+				return nil, err
+			}
+			return &netx.TxProofResp{Found: true, Tx: tx, Proof: p}, nil
+		}
+	}
+	return &netx.TxProofResp{}, nil
+}
+
+func (u *fakeUpstream) loseChunk(peer int, ref netx.ChunkRef) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.lost[peer] == nil {
+		u.lost[peer] = make(map[netx.ChunkRef]bool)
+	}
+	u.lost[peer][ref] = true
+}
+
+func newTestGateway(t *testing.T, u Upstream, reg *metrics.Registry, cacheBytes int64) *Gateway {
+	t.Helper()
+	g, err := New(Config{
+		Upstream:        u,
+		BlockCacheBytes: cacheBytes,
+		ChunkCacheBytes: cacheBytes,
+		Registry:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestConcurrentGetsCoalesceToOneFetch is the coalescing acceptance test:
+// eight concurrent GetBlock calls for one cold block must cost exactly one
+// upstream retrieval (one header resolution, one assembly), with the other
+// seven riding the same flight.
+func TestConcurrentGetsCoalesceToOneFetch(t *testing.T) {
+	u, blocks := newFakeUpstream(t, 4, 1, 16)
+	u.gate = make(chan struct{})
+	reg := metrics.NewRegistry()
+	g := newTestGateway(t, u, reg, 1<<20)
+	b := blocks[0]
+
+	const N = 8
+	var started, done sync.WaitGroup
+	results := make([]*chain.Block, N)
+	errs := make([]error, N)
+	for i := 0; i < N; i++ {
+		started.Add(1)
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			started.Done()
+			results[i], errs[i] = g.GetBlock(b.Hash())
+		}(i)
+	}
+	started.Wait()
+	// Give every goroutine time to miss the cache and join the flight
+	// before the upstream is allowed to answer.
+	time.Sleep(200 * time.Millisecond)
+	close(u.gate)
+	done.Wait()
+
+	for i := 0; i < N; i++ {
+		if errs[i] != nil {
+			t.Fatalf("get %d: %v", i, errs[i])
+		}
+		if results[i].Hash() != b.Hash() {
+			t.Fatalf("get %d returned the wrong block", i)
+		}
+	}
+	if v := u.headerCalls.Load(); v != 1 {
+		t.Fatalf("upstream header resolutions = %d, want exactly 1", v)
+	}
+	snap := reg.Snapshot()
+	if v := snap["ici.gateway.fetches"]; v != 1 {
+		t.Fatalf("ici.gateway.fetches = %v, want exactly 1", v)
+	}
+	if v := snap["ici.gateway.coalesced"]; v != N-1 {
+		t.Fatalf("ici.gateway.coalesced = %v, want %d", v, N-1)
+	}
+	// One retrieval over 4 single-owner chunk groups: at most one batch RPC
+	// per contacted peer.
+	if v := u.batchCalls.Load(); v > 4 {
+		t.Fatalf("upstream batch RPCs = %d for one retrieval of 4 chunks", v)
+	}
+}
+
+// TestCacheHitServesWithZeroUpstream: once a block is hot, serving it again
+// must touch the upstream zero times.
+func TestCacheHitServesWithZeroUpstream(t *testing.T) {
+	u, blocks := newFakeUpstream(t, 3, 1, 12)
+	reg := metrics.NewRegistry()
+	g := newTestGateway(t, u, reg, 1<<20)
+	b := blocks[0]
+
+	if _, err := g.GetBlock(b.Hash()); err != nil {
+		t.Fatal(err)
+	}
+	h0, b0 := u.headerCalls.Load(), u.batchCalls.Load()
+
+	got, err := g.GetBlock(b.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash() != b.Hash() {
+		t.Fatal("wrong block from cache")
+	}
+	if u.headerCalls.Load() != h0 || u.batchCalls.Load() != b0 {
+		t.Fatalf("cache hit touched upstream: headers %d->%d batches %d->%d",
+			h0, u.headerCalls.Load(), b0, u.batchCalls.Load())
+	}
+	snap := reg.Snapshot()
+	if v := snap["ici.gateway.block_cache.hits"]; v < 1 {
+		t.Fatalf("block cache hits = %v, want >= 1", v)
+	}
+}
+
+// TestFetchFallsBackToSecondaryOwner: a primary owner missing its chunk
+// must not fail the read while another owner still holds it.
+func TestFetchFallsBackToSecondaryOwner(t *testing.T) {
+	u, blocks := newFakeUpstream(t, 4, 1, 16)
+	b := blocks[0]
+	// Chunk 2's primary owner (peer 2 under idx%n placement) lost it.
+	u.loseChunk(2, netx.ChunkRef{Block: b.Hash(), Index: 2})
+	g := newTestGateway(t, u, nil, 1<<20)
+	got, err := g.GetBlock(b.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash() != b.Hash() {
+		t.Fatal("wrong block after fallback")
+	}
+}
+
+// TestFetchFailsWhenChunkLostEverywhere: when no owner holds a chunk the
+// gateway reports an incomplete read instead of fabricating a block.
+func TestFetchFailsWhenChunkLostEverywhere(t *testing.T) {
+	u, blocks := newFakeUpstream(t, 3, 1, 9)
+	b := blocks[0]
+	ref := netx.ChunkRef{Block: b.Hash(), Index: 1}
+	for p := 0; p < 3; p++ {
+		u.loseChunk(p, ref)
+	}
+	g := newTestGateway(t, u, nil, 1<<20)
+	if _, err := g.GetBlock(b.Hash()); err == nil {
+		t.Fatal("incomplete block served")
+	}
+}
+
+// TestChunkCacheServesPartialReassembly: with the block cache disabled but
+// chunks hot, a re-read only refetches nothing and reassembles from the
+// chunk cache.
+func TestChunkCacheServesPartialReassembly(t *testing.T) {
+	u, blocks := newFakeUpstream(t, 3, 1, 12)
+	b := blocks[0]
+	g, err := New(Config{Upstream: u, BlockCacheBytes: 0, ChunkCacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.GetBlock(b.Hash()); err != nil {
+		t.Fatal(err)
+	}
+	before := u.batchCalls.Load()
+	if _, err := g.GetBlock(b.Hash()); err != nil {
+		t.Fatal(err)
+	}
+	if u.batchCalls.Load() != before {
+		t.Fatal("hot chunks were refetched")
+	}
+}
+
+func TestGetTxProofThroughGateway(t *testing.T) {
+	u, blocks := newFakeUpstream(t, 3, 2, 12)
+	reg := metrics.NewRegistry()
+	g := newTestGateway(t, u, reg, 1<<20)
+	b := blocks[1]
+	tx := b.Txs[3]
+
+	p, err := g.GetTxProof(b.Hash(), tx.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tx.ID() != tx.ID() || p.Header.Hash() != b.Hash() {
+		t.Fatal("wrong proof returned")
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("proof does not verify: %v", err)
+	}
+
+	// Unknown tx: definitive not-found.
+	if _, err := g.GetTxProof(b.Hash(), blockcrypto.Sum256([]byte("ghost"))); err == nil {
+		t.Fatal("proof produced for a transaction that does not exist")
+	}
+
+	// With the block cached, proofs are derived locally with no new
+	// upstream proof queries.
+	if _, err := g.GetBlock(b.Hash()); err != nil {
+		t.Fatal(err)
+	}
+	before := u.proofCalls.Load()
+	p2, err := g.GetTxProof(b.Hash(), tx.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if u.proofCalls.Load() != before {
+		t.Fatal("cached block did not serve the proof locally")
+	}
+	if v := reg.Snapshot()["ici.gateway.txproofs_local"]; v < 1 {
+		t.Fatalf("ici.gateway.txproofs_local = %v, want >= 1", v)
+	}
+}
+
+func TestGetBlockUnknownHash(t *testing.T) {
+	u, _ := newFakeUpstream(t, 3, 1, 6)
+	g := newTestGateway(t, u, nil, 1<<20)
+	if _, err := g.GetBlock(blockcrypto.Sum256([]byte("nope"))); err == nil {
+		t.Fatal("unknown block served")
+	}
+}

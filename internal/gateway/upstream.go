@@ -1,0 +1,223 @@
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/chain"
+	"icistrategy/internal/core"
+	"icistrategy/internal/netx"
+	"icistrategy/internal/simnet"
+)
+
+// Gateway errors.
+var (
+	ErrUnknownBlock = errors.New("gateway: unknown block")
+	ErrIncomplete   = errors.New("gateway: could not gather every chunk")
+)
+
+// Upstream is the storage-cluster view the gateway reads through. The
+// production implementation is ClusterUpstream (below) over the netx TCP
+// protocol; tests substitute fakes to count and fault upstream traffic.
+type Upstream interface {
+	// Parts returns how many chunks each block is split into (the netx
+	// distribution convention: one chunk per cluster member).
+	Parts() int
+	// Owners returns the peer indexes storing chunk idx of the block, in
+	// rendezvous preference order.
+	Owners(block blockcrypto.Hash, idx int) ([]int, error)
+	// Header resolves a block hash to its header.
+	Header(block blockcrypto.Hash) (chain.Header, error)
+	// FetchBatch fetches chunks from one peer in a single round trip; the
+	// response answers position-for-position with Found flags.
+	FetchBatch(peer int, refs []netx.ChunkRef) (*netx.ChunkBatchResp, error)
+	// TxProof asks one peer for a transaction plus its stored Merkle proof.
+	TxProof(peer int, block, txID blockcrypto.Hash) (*netx.TxProofResp, error)
+}
+
+// ClusterUpstream reads from a netx storage cluster: one cached connection
+// per member, the same rendezvous placement the writers used, and a local
+// header index kept fresh by incremental header syncs.
+type ClusterUpstream struct {
+	addrs       []string
+	ids         []simnet.NodeID
+	replication int
+
+	mu      sync.Mutex
+	clients map[int]*netx.Client
+	timeout time.Duration
+
+	hmu        sync.Mutex
+	headers    map[blockcrypto.Hash]chain.Header
+	nextHeight uint64
+}
+
+// NewClusterUpstream wires an upstream over the cluster's server addresses;
+// replication must match the value blocks were distributed with.
+func NewClusterUpstream(addrs []string, replication int) (*ClusterUpstream, error) {
+	if len(addrs) == 0 {
+		return nil, netx.ErrNoServers
+	}
+	if replication < 1 || replication > len(addrs) {
+		return nil, fmt.Errorf("gateway: replication %d with %d servers", replication, len(addrs))
+	}
+	ids := make([]simnet.NodeID, len(addrs))
+	for i := range ids {
+		ids[i] = simnet.NodeID(i)
+	}
+	return &ClusterUpstream{
+		addrs:       addrs,
+		ids:         ids,
+		replication: replication,
+		clients:     make(map[int]*netx.Client),
+		timeout:     netx.DefaultRPCTimeout,
+		headers:     make(map[blockcrypto.Hash]chain.Header),
+	}, nil
+}
+
+// SetTimeout sets the per-round-trip deadline for upstream calls.
+func (u *ClusterUpstream) SetTimeout(d time.Duration) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.timeout = d
+	for _, c := range u.clients {
+		c.SetTimeout(d)
+	}
+}
+
+// Close drops every cached connection.
+func (u *ClusterUpstream) Close() {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for _, c := range u.clients {
+		_ = c.Close()
+	}
+	u.clients = make(map[int]*netx.Client)
+}
+
+// Parts implements Upstream.
+func (u *ClusterUpstream) Parts() int { return len(u.addrs) }
+
+// Owners implements Upstream with the cluster's rendezvous placement.
+func (u *ClusterUpstream) Owners(block blockcrypto.Hash, idx int) ([]int, error) {
+	owners, err := core.Owners(block.Uint64(), u.ids, idx, u.replication)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(owners))
+	for i, o := range owners {
+		out[i] = int(o)
+	}
+	return out, nil
+}
+
+// client returns a cached or fresh connection to peer.
+func (u *ClusterUpstream) client(peer int) (*netx.Client, error) {
+	if peer < 0 || peer >= len(u.addrs) {
+		return nil, fmt.Errorf("gateway: peer %d of %d", peer, len(u.addrs))
+	}
+	u.mu.Lock()
+	if c, ok := u.clients[peer]; ok {
+		u.mu.Unlock()
+		return c, nil
+	}
+	timeout := u.timeout
+	u.mu.Unlock()
+	c, err := netx.Dial(u.addrs[peer])
+	if err != nil {
+		return nil, err
+	}
+	c.SetTimeout(timeout)
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if existing, ok := u.clients[peer]; ok {
+		_ = c.Close()
+		return existing, nil
+	}
+	u.clients[peer] = c
+	return c, nil
+}
+
+// dropClient evicts a connection after a transport failure (the deadline
+// may have left a frame half-read; the connection is poisoned).
+func (u *ClusterUpstream) dropClient(peer int) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if c, ok := u.clients[peer]; ok {
+		_ = c.Close()
+		delete(u.clients, peer)
+	}
+}
+
+// FetchBatch implements Upstream.
+func (u *ClusterUpstream) FetchBatch(peer int, refs []netx.ChunkRef) (*netx.ChunkBatchResp, error) {
+	c, err := u.client(peer)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.GetChunkBatch(refs)
+	if err != nil {
+		u.dropClient(peer)
+		return nil, err
+	}
+	return resp, nil
+}
+
+// TxProof implements Upstream.
+func (u *ClusterUpstream) TxProof(peer int, block, txID blockcrypto.Hash) (*netx.TxProofResp, error) {
+	c, err := u.client(peer)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.GetTxProof(block, txID)
+	if err != nil {
+		u.dropClient(peer)
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Header implements Upstream: a local index miss triggers one incremental
+// header sync (every header at or above the highest height seen) from the
+// first reachable peer before giving up.
+func (u *ClusterUpstream) Header(block blockcrypto.Hash) (chain.Header, error) {
+	u.hmu.Lock()
+	if h, ok := u.headers[block]; ok {
+		u.hmu.Unlock()
+		return h, nil
+	}
+	from := u.nextHeight
+	u.hmu.Unlock()
+
+	var lastErr error = ErrUnknownBlock
+	for peer := range u.addrs {
+		c, err := u.client(peer)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		hdrs, err := c.GetHeaders(from)
+		if err != nil {
+			u.dropClient(peer)
+			lastErr = err
+			continue
+		}
+		u.hmu.Lock()
+		for _, h := range hdrs {
+			u.headers[h.Hash()] = h
+			if h.Height+1 > u.nextHeight {
+				u.nextHeight = h.Height + 1
+			}
+		}
+		h, ok := u.headers[block]
+		u.hmu.Unlock()
+		if ok {
+			return h, nil
+		}
+		return chain.Header{}, fmt.Errorf("%w: %s", ErrUnknownBlock, block.Short())
+	}
+	return chain.Header{}, fmt.Errorf("gateway: header sync: %w", lastErr)
+}

@@ -1,0 +1,244 @@
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"icistrategy/internal/blockcrypto"
+	"icistrategy/internal/chain"
+	"icistrategy/internal/core"
+	"icistrategy/internal/netx"
+)
+
+// The gateway's client-facing protocol rides the same length-prefixed gob
+// framing as the storage protocol (netx.WriteMessage/ReadMessage), with its
+// own tiny request/response unions: full verified blocks and light-client
+// transaction proofs.
+
+// WireRequest is the union of gateway client requests; exactly one field
+// is set.
+type WireRequest struct {
+	GetBlock   *WireBlockReq
+	GetTxProof *WireProofReq
+}
+
+// WireBlockReq asks for a full block by hash.
+type WireBlockReq struct {
+	Block blockcrypto.Hash
+}
+
+// WireProofReq asks for a transaction-inclusion proof.
+type WireProofReq struct {
+	Block blockcrypto.Hash
+	TxID  blockcrypto.Hash
+}
+
+// WireResponse is the union of gateway responses; Err is set on failure.
+type WireResponse struct {
+	Err   string
+	Block []byte // chain.Block.Encode() payload
+	Proof *WireProofResp
+}
+
+// WireProofResp carries a verified inclusion proof.
+type WireProofResp struct {
+	Tx     *chain.Transaction
+	Header chain.Header
+	Proof  chain.Proof
+}
+
+// Server exposes a Gateway on a TCP listener.
+type Server struct {
+	g  *Gateway
+	ln net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// NewServer starts serving g on addr ("host:0" picks a free port).
+func NewServer(addr string, g *Gateway) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: listen %s: %w", addr, err)
+	}
+	s := &Server{g: g, ln: ln, conns: make(map[net.Conn]struct{})}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and tears down open connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	for {
+		var req WireRequest
+		if err := netx.ReadMessage(conn, &req); err != nil {
+			return
+		}
+		resp := s.handle(&req)
+		if err := netx.WriteMessage(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *WireRequest) *WireResponse {
+	switch {
+	case req.GetBlock != nil:
+		b, err := s.g.GetBlock(req.GetBlock.Block)
+		if err != nil {
+			return &WireResponse{Err: err.Error()}
+		}
+		return &WireResponse{Block: b.Encode()}
+	case req.GetTxProof != nil:
+		p, err := s.g.GetTxProof(req.GetTxProof.Block, req.GetTxProof.TxID)
+		if err != nil {
+			return &WireResponse{Err: err.Error()}
+		}
+		return &WireResponse{Proof: &WireProofResp{Tx: p.Tx, Header: p.Header, Proof: p.Proof}}
+	default:
+		return &WireResponse{Err: "gateway: malformed request"}
+	}
+}
+
+// Client is a connection to a gateway server, safe for sequential use.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
+}
+
+// ErrRemote wraps error strings reported by the gateway server.
+var ErrRemote = errors.New("gateway: remote error")
+
+// DialClient connects to a gateway server.
+func DialClient(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, timeout: netx.DefaultRPCTimeout}, nil
+}
+
+// SetTimeout overrides the per-call I/O deadline; d <= 0 restores the
+// default.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d <= 0 {
+		d = netx.DefaultRPCTimeout
+	}
+	c.timeout = d
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+func (c *Client) roundTrip(req *WireRequest) (*WireResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, netx.ErrClosed
+	}
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return nil, err
+	}
+	if err := netx.WriteMessage(c.conn, req); err != nil {
+		return nil, err
+	}
+	var resp WireResponse
+	if err := netx.ReadMessage(c.conn, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, resp.Err)
+	}
+	return &resp, nil
+}
+
+// GetBlock fetches a full block through the gateway.
+func (c *Client) GetBlock(h blockcrypto.Hash) (*chain.Block, error) {
+	resp, err := c.roundTrip(&WireRequest{GetBlock: &WireBlockReq{Block: h}})
+	if err != nil {
+		return nil, err
+	}
+	b, err := chain.DecodeBlock(resp.Block)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: decode block: %w", err)
+	}
+	return b, nil
+}
+
+// GetTxProof fetches a transaction-inclusion proof through the gateway and
+// re-verifies it client-side before returning.
+func (c *Client) GetTxProof(block, txID blockcrypto.Hash) (core.TxProof, error) {
+	resp, err := c.roundTrip(&WireRequest{GetTxProof: &WireProofReq{Block: block, TxID: txID}})
+	if err != nil {
+		return core.TxProof{}, err
+	}
+	if resp.Proof == nil {
+		return core.TxProof{}, fmt.Errorf("%w: empty proof response", ErrRemote)
+	}
+	p := core.TxProof{Tx: resp.Proof.Tx, Header: resp.Proof.Header, Proof: resp.Proof.Proof}
+	if err := p.Verify(); err != nil {
+		return core.TxProof{}, fmt.Errorf("gateway: proof verification: %w", err)
+	}
+	if p.Header.Hash() != block || p.Tx.ID() != txID {
+		return core.TxProof{}, fmt.Errorf("%w: proof for the wrong block or transaction", ErrRemote)
+	}
+	return p, nil
+}

@@ -26,13 +26,20 @@ var (
 // dialTimeout bounds connection establishment.
 const dialTimeout = 5 * time.Second
 
+// DefaultRPCTimeout bounds one request/response round trip when the caller
+// does not override it with SetTimeout. Without a per-call deadline, one
+// stalled peer (accepted the connection, never answers) parks the caller —
+// and everything queued behind it — forever.
+const DefaultRPCTimeout = 15 * time.Second
+
 // Client is a connection to one storage server, safe for sequential use;
 // Cluster (below) multiplexes clients for whole-cluster operations.
 type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	tr     *trace.Tracer
-	parent trace.SpanID
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
+	tr      *trace.Tracer
+	parent  trace.SpanID
 }
 
 // Dial connects to a server.
@@ -41,7 +48,20 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netx: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn}, nil
+	return &Client{conn: conn, timeout: DefaultRPCTimeout}, nil
+}
+
+// SetTimeout overrides the per-round-trip I/O deadline; d <= 0 restores the
+// default. A round trip that blows its deadline poisons the connection (a
+// frame may be half-written), so the error is terminal for this Client —
+// Cluster drops and re-dials failed connections.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d <= 0 {
+		d = DefaultRPCTimeout
+	}
+	c.timeout = d
 }
 
 // Close tears the connection down.
@@ -56,7 +76,10 @@ func (c *Client) Close() error {
 	return err
 }
 
-// roundTrip sends one request and reads one response. With a tracer
+// roundTrip sends one request and reads one response under the per-call
+// I/O deadline (see SetTimeout): both the write and the read must complete
+// before it passes, so a stalled or half-dead peer surfaces as
+// os.ErrDeadlineExceeded instead of hanging the caller. With a tracer
 // installed, each round-trip is one span carrying the wire bytes it moved
 // in both directions.
 func (c *Client) roundTrip(req *Request) (*Response, error) {
@@ -64,6 +87,9 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 	defer c.mu.Unlock()
 	if c.conn == nil {
 		return nil, ErrClosed
+	}
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return nil, fmt.Errorf("netx: arm deadline: %w", err)
 	}
 	var rw io.ReadWriter = c.conn
 	var sp trace.Span
@@ -138,6 +164,40 @@ func (c *Client) GetChunk(block blockcrypto.Hash, index int) (*ChunkResp, error)
 	return resp.Chunk, nil
 }
 
+// GetChunkBatch fetches several chunks (possibly of different blocks) in a
+// single round trip. The response answers position-for-position; chunks the
+// server does not hold come back with Found false rather than failing the
+// whole batch.
+func (c *Client) GetChunkBatch(refs []ChunkRef) (*ChunkBatchResp, error) {
+	resp, err := c.roundTrip(&Request{GetChunkBatch: &ChunkBatchReq{Refs: refs}})
+	if err != nil {
+		return nil, err
+	}
+	if err := respError(resp); err != nil {
+		return nil, err
+	}
+	if resp.ChunkBatch == nil || len(resp.ChunkBatch.Found) != len(refs) || len(resp.ChunkBatch.Chunks) != len(refs) {
+		return nil, ErrBadRequest
+	}
+	return resp.ChunkBatch, nil
+}
+
+// GetTxProof asks the server for a transaction plus its stored Merkle proof.
+// Found false means this server's chunks do not contain the transaction.
+func (c *Client) GetTxProof(block, txID blockcrypto.Hash) (*TxProofResp, error) {
+	resp, err := c.roundTrip(&Request{GetTxProof: &TxProofReq{Block: block, TxID: txID}})
+	if err != nil {
+		return nil, err
+	}
+	if err := respError(resp); err != nil {
+		return nil, err
+	}
+	if resp.TxProof == nil {
+		return nil, ErrBadRequest
+	}
+	return resp.TxProof, nil
+}
+
 // GetBlockChunks fetches every chunk the server holds for a block.
 func (c *Client) GetBlockChunks(block blockcrypto.Hash) (*BlockChunksResp, error) {
 	resp, err := c.roundTrip(&Request{GetBlockChunks: &GetBlockChunksReq{Block: block}})
@@ -179,6 +239,7 @@ type Cluster struct {
 
 	mu      sync.Mutex
 	clients map[string]*Client
+	timeout time.Duration // per-round-trip deadline applied to every client
 	tr      *trace.Tracer
 }
 
@@ -199,7 +260,22 @@ func NewCluster(addrs []string, replication int) (*Cluster, error) {
 		ids:         ids,
 		replication: replication,
 		clients:     make(map[string]*Client),
+		timeout:     DefaultRPCTimeout,
 	}, nil
+}
+
+// SetTimeout sets the per-round-trip deadline applied to every connection
+// the cluster opens (and those already open); d <= 0 restores the default.
+func (cl *Cluster) SetTimeout(d time.Duration) {
+	if d <= 0 {
+		d = DefaultRPCTimeout
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.timeout = d
+	for _, c := range cl.clients {
+		c.SetTimeout(d)
+	}
 }
 
 // Close closes all cached connections.
@@ -230,6 +306,7 @@ func (cl *Cluster) client(addr string) (*Client, error) {
 		_ = c.Close()
 		return existing, nil
 	}
+	c.SetTimeout(cl.timeout)
 	cl.clients[addr] = c
 	return c, nil
 }

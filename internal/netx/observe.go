@@ -40,8 +40,12 @@ func reqName(r *Request) string {
 		return "get-headers"
 	case r.GetChunk != nil:
 		return "get-chunk"
+	case r.GetChunkBatch != nil:
+		return "get-chunk-batch"
 	case r.GetBlockChunks != nil:
 		return "get-block-chunks"
+	case r.GetTxProof != nil:
+		return "get-txproof"
 	case r.Stats != nil:
 		return "stats"
 	case r.Fault != nil:

@@ -36,7 +36,9 @@ type Request struct {
 	PutChunk       *PutChunkReq
 	GetHeaders     *GetHeadersReq
 	GetChunk       *GetChunkReq
+	GetChunkBatch  *ChunkBatchReq
 	GetBlockChunks *GetBlockChunksReq
+	GetTxProof     *TxProofReq
 	Stats          *StatsReq
 	Fault          *FaultReq
 }
@@ -47,7 +49,9 @@ type Response struct {
 	OK          *struct{}
 	Headers     []chain.Header
 	Chunk       *ChunkResp
+	ChunkBatch  *ChunkBatchResp
 	BlockChunks *BlockChunksResp
+	TxProof     *TxProofResp
 	Stats       *StatsResp
 	Faults      *FaultResp
 }
@@ -89,6 +93,50 @@ type ChunkResp struct {
 	Proofs  []chain.Proof
 }
 
+// ChunkRef names one stored chunk, possibly of a different block than its
+// batch siblings.
+type ChunkRef struct {
+	Block blockcrypto.Hash
+	Index int
+}
+
+// ChunkBatchReq fetches several stored chunks in one round trip — the wire
+// op behind the gateway's cross-request batching: wants for the same peer
+// that accumulate while a round trip is in flight ride the next frame
+// together instead of paying one round trip each.
+type ChunkBatchReq struct {
+	Refs []ChunkRef
+}
+
+// maxBatchRefs bounds one batch so a malicious or buggy client cannot make
+// the server assemble an unbounded response.
+const maxBatchRefs = 4096
+
+// ChunkBatchResp answers a batch fetch position-for-position: Chunks[i]
+// answers Refs[i], and Found[i] is false (with a zero Chunks[i]) when this
+// server does not hold that chunk. Partial answers are expected — the
+// client falls back to the other owners for the holes.
+type ChunkBatchResp struct {
+	Found  []bool
+	Chunks []ChunkResp
+}
+
+// TxProofReq asks for the transaction with the given ID inside a block,
+// plus the stored Merkle proof connecting it to the block's root — the
+// light-client read: no whole block crosses the wire.
+type TxProofReq struct {
+	Block blockcrypto.Hash
+	TxID  blockcrypto.Hash
+}
+
+// TxProofResp answers a proof query. Found is false when this server's
+// chunks do not contain the transaction (another owner may still hold it).
+type TxProofResp struct {
+	Found bool
+	Tx    *chain.Transaction
+	Proof chain.Proof
+}
+
 // GetBlockChunksReq fetches every chunk the server holds for a block.
 type GetBlockChunksReq struct {
 	Block blockcrypto.Hash
@@ -127,6 +175,16 @@ type FaultResp struct {
 	// Corrupted counts the chunks CorruptStored damaged.
 	Corrupted int
 }
+
+// WriteMessage frames and gob-encodes v onto w with the netx wire format.
+// Exported for protocol layers stacked on the same framing (the gateway's
+// client-facing listener); servers and clients in this package use the
+// unexported forms directly.
+func WriteMessage(w io.Writer, v any) error { return writeMessage(w, v) }
+
+// ReadMessage reads one length-prefixed gob message into v (see
+// WriteMessage).
+func ReadMessage(r io.Reader, v any) error { return readMessage(r, v) }
 
 // writeMessage frames and gob-encodes v onto w: 4-byte big-endian length,
 // then the gob bytes.

@@ -258,8 +258,12 @@ func (s *Server) handle(req *Request) *Response {
 		return &Response{Headers: out}
 	case req.GetChunk != nil:
 		return s.handleGetChunk(req.GetChunk)
+	case req.GetChunkBatch != nil:
+		return s.handleGetChunkBatch(req.GetChunkBatch)
 	case req.GetBlockChunks != nil:
 		return s.handleGetBlockChunks(req.GetBlockChunks)
+	case req.GetTxProof != nil:
+		return s.handleGetTxProof(req.GetTxProof)
 	case req.Stats != nil:
 		st := s.store.Stats()
 		return &Response{Stats: &StatsResp{
@@ -323,6 +327,61 @@ func (s *Server) handleGetChunk(r *GetChunkReq) *Response {
 		Data:    chk.Data,
 		Proofs:  m.proofs,
 	}}
+}
+
+// handleGetChunkBatch answers a batch fetch position-for-position; chunks
+// this server does not hold are reported Found=false, never an error — the
+// gateway treats holes as "ask another owner", not as failures.
+func (s *Server) handleGetChunkBatch(r *ChunkBatchReq) *Response {
+	if len(r.Refs) == 0 || len(r.Refs) > maxBatchRefs {
+		return errResp(fmt.Errorf("%w: batch of %d refs", ErrBadRequest, len(r.Refs)))
+	}
+	out := &ChunkBatchResp{
+		Found:  make([]bool, len(r.Refs)),
+		Chunks: make([]ChunkResp, len(r.Refs)),
+	}
+	for i, ref := range r.Refs {
+		id := storage.ChunkID{Block: ref.Block, Index: ref.Index}
+		chk, err := s.store.Chunk(id)
+		if err != nil {
+			continue // missing or corrupted: withhold this position
+		}
+		m := s.meta[id]
+		out.Found[i] = true
+		out.Chunks[i] = ChunkResp{
+			Index:   ref.Index,
+			Parts:   m.parts,
+			TxStart: m.txStart,
+			Data:    chk.Data,
+			Proofs:  m.proofs,
+		}
+	}
+	return &Response{ChunkBatch: out}
+}
+
+// handleGetTxProof scans this server's chunks of the block for the
+// transaction and answers with it plus its stored Merkle proof — the
+// light-client path: the response is verifiable against the block header
+// alone, and no whole block crosses the wire.
+func (s *Server) handleGetTxProof(r *TxProofReq) *Response {
+	for _, idx := range s.store.ChunksForBlock(r.Block) {
+		id := storage.ChunkID{Block: r.Block, Index: idx}
+		chk, err := s.store.Chunk(id)
+		if err != nil {
+			continue
+		}
+		m := s.meta[id]
+		txs, derr := chain.DecodeBody(chk.Data)
+		if derr != nil {
+			continue
+		}
+		for i, tx := range txs {
+			if tx.ID() == r.TxID && i < len(m.proofs) {
+				return &Response{TxProof: &TxProofResp{Found: true, Tx: tx, Proof: m.proofs[i]}}
+			}
+		}
+	}
+	return &Response{TxProof: &TxProofResp{}}
 }
 
 func (s *Server) handleGetBlockChunks(r *GetBlockChunksReq) *Response {

@@ -8,7 +8,6 @@ package workload
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"icistrategy/internal/blockcrypto"
 	"icistrategy/internal/chain"
@@ -65,15 +64,7 @@ func NewGenerator(cfg Config) (*Generator, error) {
 		g.ids[i] = blockcrypto.PublicKeyHash(g.keys[i].Public)
 	}
 	if cfg.ZipfS > 0 {
-		g.zipf = make([]float64, cfg.Accounts)
-		var total float64
-		for i := range g.zipf {
-			total += 1 / math.Pow(float64(i+1), cfg.ZipfS)
-			g.zipf[i] = total
-		}
-		for i := range g.zipf {
-			g.zipf[i] /= total
-		}
+		g.zipf = zipfCDF(cfg.Accounts, cfg.ZipfS)
 	}
 	return g, nil
 }
@@ -96,17 +87,7 @@ func (g *Generator) pickSender() int {
 	if g.zipf == nil {
 		return g.rng.Intn(len(g.ids))
 	}
-	target := g.rng.Float64()
-	lo, hi := 0, len(g.zipf)-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if g.zipf[mid] < target {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
+	return sampleCDF(g.zipf, g.rng.Float64())
 }
 
 // NextTx produces one signed transaction with correct nonce sequencing.

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"icistrategy/internal/blockcrypto"
+)
+
+// zipfCDF builds the normalized cumulative distribution of a Zipf law with
+// exponent s over n ranks: cdf[i] is the probability of drawing a rank
+// <= i. The final entry is exactly 1.
+func zipfCDF(n int, s float64) []float64 {
+	cdf := make([]float64, n)
+	var total float64
+	for i := range cdf {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return cdf
+}
+
+// sampleCDF inverts a cumulative distribution at target via binary search:
+// the smallest index whose cumulative mass covers target.
+func sampleCDF(cdf []float64, target float64) int {
+	i := sort.SearchFloat64s(cdf, target)
+	if i >= len(cdf) {
+		i = len(cdf) - 1 // target==1 exactly; the last rank owns it
+	}
+	return i
+}
+
+// ZipfPicker samples indexes in [0, n) with Zipf(s) popularity from its own
+// seeded RNG — the key-popularity model for gateway load generation, shared
+// with the sender-popularity law in Generator. s == 0 degenerates to
+// uniform.
+type ZipfPicker struct {
+	cdf []float64
+	rng *blockcrypto.RNG
+	n   int
+}
+
+// NewZipfPicker builds a picker over n indexes with exponent s.
+func NewZipfPicker(n int, s float64, seed uint64) (*ZipfPicker, error) {
+	if n <= 0 || s < 0 {
+		return nil, ErrBadParams
+	}
+	p := &ZipfPicker{n: n, rng: blockcrypto.NewRNG(seed).Fork("zipf-picker")}
+	if s > 0 {
+		p.cdf = zipfCDF(n, s)
+	}
+	return p, nil
+}
+
+// Pick samples one index.
+func (p *ZipfPicker) Pick() int {
+	if p.cdf == nil {
+		return p.rng.Intn(p.n)
+	}
+	return sampleCDF(p.cdf, p.rng.Float64())
+}
