@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-selftest fmt vet bench bench-sim bench-gateway sim contest
+.PHONY: all build test race lint lint-selftest fmt vet bench bench-sim bench-gateway bench-churn sim contest
 
 all: build test lint
 
@@ -56,6 +56,15 @@ bench-sim:
 bench-gateway:
 	$(GO) run ./cmd/icibench -gatewaybench BENCH_PR7.json
 
+# Regenerate the churn availability/movement snapshot: graceful
+# leave/rejoin cycles, flash-crowd join bursts, and correlated crashes over
+# the epoch-versioned membership machinery (DESIGN.md "Membership epochs").
+# CI runs the same command at -quick scale; the built-in gate requires
+# graceful and flash-crowd churn to keep 100% availability within the
+# per-epoch movement bound.
+bench-churn:
+	$(GO) run ./cmd/icibench -churnbench BENCH_PR8.json
+
 sim:
 	$(GO) run ./cmd/icisim -nodes 32 -clusters 4 -blocks 2 -trace summary
 
@@ -66,4 +75,5 @@ sim:
 contest:
 	$(GO) run ./cmd/icicontest scenarios/bootstrap.cont \
 		scenarios/crash-restart.cont scenarios/membership.cont \
-		scenarios/byzantine.cont scenarios/gateway.cont
+		scenarios/byzantine.cont scenarios/gateway.cont \
+		scenarios/churn.cont

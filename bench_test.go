@@ -55,3 +55,4 @@ func BenchmarkE9Throughput(b *testing.B)            { benchExperiment(b, "E9") }
 func BenchmarkE10ClusteringAblation(b *testing.B)   { benchExperiment(b, "E10") }
 func BenchmarkE11ArchivalTradeoff(b *testing.B)     { benchExperiment(b, "E11") }
 func BenchmarkE12RepairCost(b *testing.B)           { benchExperiment(b, "E12") }
+func BenchmarkE16ChurnAvailability(b *testing.B)    { benchExperiment(b, "E16") }

@@ -20,7 +20,11 @@
 // on the overhauled engine versus the frozen pre-overhaul baseline. The
 // -gatewaybench FILE mode snapshots the read-path gateway under a Zipfian
 // closed-loop load over a real TCP storage cluster, caches on versus off
-// (QPS, p50/p99 latency, hit rate, upstream RPC counts).
+// (QPS, p50/p99 latency, hit rate, upstream RPC counts). The -churnbench
+// FILE mode snapshots availability and chunk movement under membership
+// churn (graceful leave/rejoin cycles, flash-crowd join bursts, correlated
+// crashes) and fails unless graceful churn keeps 100% availability within
+// the per-epoch movement bound.
 // -minspeedup N makes any bench mode exit nonzero when its headline
 // speedup falls below N — the CI regression gates.
 package main
@@ -60,6 +64,7 @@ func run(args []string) error {
 	erasureBench := fs.String("erasurebench", "", "write an erasure hot-path throughput snapshot to this JSON file and exit")
 	simBench := fs.String("simbench", "", "write a simulation-engine throughput snapshot to this JSON file and exit")
 	gatewayBench := fs.String("gatewaybench", "", "write a gateway read-path load snapshot to this JSON file and exit")
+	churnBench := fs.String("churnbench", "", "write a churn availability/movement snapshot to this JSON file and exit")
 	minSpeedup := fs.Float64("minspeedup", 0, "with -erasurebench/-simbench/-gatewaybench: fail unless the headline speedup reaches this factor")
 	obsf := obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -87,6 +92,9 @@ func run(args []string) error {
 	}
 	if *gatewayBench != "" {
 		return runGatewayBench(*gatewayBench, params, *quick, *minSpeedup)
+	}
+	if *churnBench != "" {
+		return runChurnBench(*churnBench, params, *quick)
 	}
 
 	var selected []experiments.Experiment
@@ -317,5 +325,55 @@ func runGatewayBench(path string, params experiments.Params, quick bool, minSpee
 		}
 		fmt.Printf("speedup gate passed: %.2fx >= %.2fx\n", report.QPSSpeedup, minSpeedup)
 	}
+	return nil
+}
+
+// churnBenchReport is the schema of BENCH_PR8.json: availability and chunk
+// movement per churn variant and rate over the epoch-versioned membership
+// machinery.
+type churnBenchReport struct {
+	benchEnv
+	Results []experiments.ChurnResult `json:"results"`
+}
+
+// runChurnBench sweeps the churn variants, writes the JSON snapshot, and
+// enforces the correctness gate: graceful and flash-crowd churn must keep
+// every pre-churn block retrievable (availability 1.0) and per-epoch chunk
+// movement within the incremental re-clustering bound. Correlated crashes
+// are reported but not gated — losing chunks past the replication factor
+// is the expected physics, not a regression.
+func runChurnBench(path string, params experiments.Params, quick bool) error {
+	report := churnBenchReport{benchEnv: currentBenchEnv(quick, params.Seed)}
+	results, err := experiments.RunChurnBench(params)
+	if err != nil {
+		return err
+	}
+	report.Results = results
+	var failures []string
+	for _, r := range results {
+		fmt.Printf("%s rate=%d: %d blocks over %d epochs — pre-churn avail %.2f, all %.2f, moved %d chunks (max epoch %d, bound %d), lost %d\n",
+			r.Variant, r.Rate, r.Blocks, r.Epochs, r.PreChurnAvail, r.AllAvail,
+			r.MovedChunks, r.MaxEpochMoved, r.EpochMoveBound, r.LostChunks)
+		if r.Variant == "correlated" {
+			continue
+		}
+		if r.PreChurnAvail < 1 || r.AllAvail < 1 || !r.RetrieveOK {
+			failures = append(failures, fmt.Sprintf(
+				"%s rate=%d: availability pre=%.2f all=%.2f retrieve_ok=%v (want 1.0/1.0/true)",
+				r.Variant, r.Rate, r.PreChurnAvail, r.AllAvail, r.RetrieveOK))
+		}
+		if r.MaxEpochMoved > r.EpochMoveBound {
+			failures = append(failures, fmt.Sprintf(
+				"%s rate=%d: max per-epoch movement %d chunks exceeds bound %d",
+				r.Variant, r.Rate, r.MaxEpochMoved, r.EpochMoveBound))
+		}
+	}
+	if err := writeBenchReport(path, report); err != nil {
+		return err
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("churn gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Println("churn gate passed: graceful and flash-crowd churn kept 100% availability within the movement bound")
 	return nil
 }

@@ -108,6 +108,10 @@ func (x *run) exec(raw *Action) error {
 		return x.distribute(a)
 	case "bootstrap-member":
 		return x.bootstrapMember(a)
+	case "retire-member":
+		return x.churnMember(a, "retire")
+	case "rejoin-member":
+		return x.churnMember(a, "rejoin")
 	case "inject-fault":
 		return x.injectFault(a)
 	case "assert-stats":
@@ -249,6 +253,45 @@ func (x *run) bootstrapMember(a *Action) error {
 		return fmt.Errorf("bootstrap %s moved %d chunks, want at least %d", target.def.Name, n, min)
 	}
 	fmt.Fprintf(x.out, "  bootstrapped %s with %d chunks\n", target.def.Name, n)
+	return nil
+}
+
+// churnMember drives graceful membership churn over the production netx
+// paths. via= must list the full membership including the churning node, in
+// placement-id order. retire hands the node's displaced chunks to their new
+// owners and publishes the shrunk epoch; rejoin re-provisions the returning
+// node against each block's write epoch and republishes the full map.
+func (x *run) churnMember(a *Action, kind string) error {
+	target, err := x.lookupNode(a.Opts["node"])
+	if err != nil {
+		return err
+	}
+	min, err := optInt(a, "min", 1)
+	if err != nil {
+		return err
+	}
+	cl, err := x.viaCluster(a)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	var n int
+	if kind == "retire" {
+		n, err = cl.RetireMember(target.addr)
+	} else {
+		n, err = cl.RejoinMember(target.addr)
+	}
+	if err != nil {
+		return fmt.Errorf("%s %s: %w", a.Verb, target.def.Name, err)
+	}
+	if n < min {
+		return fmt.Errorf("%s %s moved %d chunks, want at least %d", a.Verb, target.def.Name, n, min)
+	}
+	past := "retired"
+	if kind == "rejoin" {
+		past = "rejoined"
+	}
+	fmt.Fprintf(x.out, "  %s %s, %d chunks moved\n", past, target.def.Name, n)
 	return nil
 }
 

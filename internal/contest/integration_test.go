@@ -64,6 +64,7 @@ func TestScenarioCrashRestart(t *testing.T) { runScenario(t, "../../scenarios/cr
 func TestScenarioMembership(t *testing.T)   { runScenario(t, "../../scenarios/membership.cont") }
 func TestScenarioByzantine(t *testing.T)    { runScenario(t, "../../scenarios/byzantine.cont") }
 func TestScenarioGateway(t *testing.T)      { runScenario(t, "../../scenarios/gateway.cont") }
+func TestScenarioChurn(t *testing.T)        { runScenario(t, "../../scenarios/churn.cont") }
 
 // TestBrokenScenarioFails is the harness's negative self-test: a scenario
 // with an impossible assertion MUST fail, and the failure must carry the

@@ -34,6 +34,12 @@
 //	sleep DURATION
 //	distribute               via=n0,n1 [blocks=2] [tx=20] [seed=42]
 //	bootstrap-member         node=NX via=n0,n1 [min=1]
+//	retire-member            node=NX via=<full membership incl NX> [min=1]
+//	                         graceful leave: displaced chunks hand off to
+//	                         their new owners, shrunk epoch published
+//	rejoin-member            node=NX via=<full membership incl NX> [min=1]
+//	                         return as the same identity: owed chunks are
+//	                         re-provisioned per write epoch, map republished
 //	inject-fault NODE        kind=corrupt-stored|drop|delay|corrupt-wire|clear
 //	                         [rate=1] [delay=20ms] [seed=1] [min=1]
 //	assert-stats NODE FIELD OP VALUE         fields: headers, chunks,
@@ -108,6 +114,8 @@ var actionSpecs = map[string]actionSpec{
 	"sleep":            {minArgs: 1, maxArgs: 1},
 	"distribute":       {opts: []string{"via", "blocks", "tx", "seed"}, required: []string{"via"}},
 	"bootstrap-member": {opts: []string{"node", "via", "min"}, required: []string{"node", "via"}},
+	"retire-member":    {opts: []string{"node", "via", "min"}, required: []string{"node", "via"}},
+	"rejoin-member":    {opts: []string{"node", "via", "min"}, required: []string{"node", "via"}},
 	"inject-fault":     {minArgs: 1, maxArgs: 1, opts: []string{"kind", "rate", "delay", "seed", "min"}, required: []string{"kind"}},
 	"assert-stats":     {minArgs: 4, maxArgs: 4},
 	"assert-retrieve":  {opts: []string{"block", "via", "expect", "gateway"}},

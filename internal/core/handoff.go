@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"icistrategy/internal/chain"
+	"icistrategy/internal/simnet"
+	"icistrategy/internal/storage"
+)
+
+// ErrHandoffFailed reports a graceful departure whose chunk handoff could
+// not be fully acknowledged (a gaining member crashed or rejected a chunk).
+var ErrHandoffFailed = fmt.Errorf("core: chunk handoff incomplete")
+
+// handoffTimeout bounds how long (virtual time) the leaver waits for one
+// gaining member to acknowledge a pushed chunk.
+const handoffTimeout = fetchTimeout
+
+// handoffState tracks one graceful departure in progress on the leaver.
+type handoffState struct {
+	pending map[uint64]bool // ReqIDs awaiting acknowledgement
+	sent    bool            // the scan finished fanning out pushes
+	moved   int
+	failed  int
+	done    bool
+	cb      func(moved int, err error)
+}
+
+// HandoffChunks pushes every chunk whose ownership this node's departure
+// shifts to the gaining members of the current (post-departure) epoch. The
+// caller (System.LeaveCluster) must already have pushed the epoch that
+// excludes this node. The movement is the placement delta between the
+// block's placement epoch and the departure epoch — by the rendezvous
+// property exactly the chunks this node owned, never a reshuffle of
+// anybody else's. cb fires once with the number of chunks moved; any
+// unacknowledged push fails the whole handoff.
+func (n *Node) HandoffChunks(net *simnet.Network, cb func(moved int, err error)) {
+	if n.handoff != nil {
+		cb(0, fmt.Errorf("core: handoff already in progress on node %d", n.id))
+		return
+	}
+	n.pc.handoffs.Inc()
+	hs := &handoffState{pending: make(map[uint64]bool), cb: cb}
+	n.handoff = hs
+	target := n.cluster.currentEpoch().members
+	for _, h := range n.store.Headers() {
+		block := h.Hash()
+		if _, archived := n.cluster.archivedInfo(block); archived {
+			continue // coded shares are re-established by archival repair
+		}
+		place := n.cluster.placementAt(h.Height).members
+		seed := block.Uint64()
+		for _, idx := range n.store.ChunksForBlock(block) {
+			id := storage.ChunkID{Block: block, Index: idx}
+			if n.meta[id].coded {
+				continue
+			}
+			oldOwners, err := Owners(seed, place, idx, n.replication)
+			if err != nil || !memberOf(oldOwners, n.id) {
+				continue // a stale extra copy; nobody needs it from us
+			}
+			newOwners, err := Owners(seed, target, idx, n.replication)
+			if err != nil {
+				continue
+			}
+			for _, gain := range newOwners {
+				if memberOf(oldOwners, gain) {
+					continue // already an owner; already holds or repairs it
+				}
+				n.pushHandoffChunk(net, hs, id, gain)
+			}
+		}
+	}
+	hs.sent = true
+	n.maybeFinishHandoff(hs)
+}
+
+// pushHandoffChunk sends one owned chunk to one gaining member and arms
+// its acknowledgement timeout.
+func (n *Node) pushHandoffChunk(net *simnet.Network, hs *handoffState, id storage.ChunkID, to simnet.NodeID) {
+	chk, err := n.store.Chunk(id)
+	if err != nil {
+		hs.failed++
+		return
+	}
+	txs, derr := chain.DecodeBody(chk.Data)
+	if derr != nil {
+		hs.failed++
+		return
+	}
+	hdr, herr := n.store.Header(id.Block)
+	if herr != nil {
+		hs.failed++
+		return
+	}
+	meta := n.meta[id]
+	payload := chunkPayload{
+		Header:  hdr,
+		PartIdx: id.Index,
+		Parts:   meta.parts,
+		TxStart: meta.txStart,
+		Txs:     txs,
+		Proofs:  meta.proofs,
+	}
+	n.nextReq++
+	req := n.nextReq
+	hs.pending[req] = true
+	n.pc.handoffChunks.Inc()
+	n.pc.handoffBytes.Add(int64(payload.dataBytes()))
+	msg := handoffMsg{Chunk: payload, ReqID: req}
+	_ = net.Send(simnet.Message{
+		From: n.id, To: to, Kind: KindHandoff,
+		Size: msg.wireSize(), Payload: msg, Span: n.rxSpan,
+	})
+	net.After(handoffTimeout, func() {
+		cur := n.handoff
+		if cur != hs || hs.done || !hs.pending[req] {
+			return
+		}
+		delete(hs.pending, req)
+		hs.failed++
+		n.maybeFinishHandoff(hs)
+	})
+}
+
+// onHandoff runs on a gaining member: verify the pushed chunk against the
+// locally committed header exactly like a fetched chunk, persist it, and
+// acknowledge.
+func (n *Node) onHandoff(net *simnet.Network, from simnet.NodeID, m handoffMsg) {
+	block := m.Chunk.Header.Hash()
+	ok := true
+	hdr, err := n.store.Header(block)
+	if err != nil || hdr.MerkleRoot != m.Chunk.Header.MerkleRoot {
+		ok = false
+	} else if verifyChunk(m.Chunk) != nil {
+		ok = false
+	}
+	if ok {
+		n.persistChunk(block, m.Chunk)
+	}
+	ack := handoffAckMsg{ReqID: m.ReqID, OK: ok}
+	_ = net.Send(simnet.Message{
+		From: n.id, To: from, Kind: KindHandoffAck,
+		Size: reqOverhead, Payload: ack, Span: n.rxSpan,
+	})
+}
+
+// onHandoffAck settles one pushed chunk on the leaver.
+func (n *Node) onHandoffAck(m handoffAckMsg) {
+	hs := n.handoff
+	if hs == nil || hs.done || !hs.pending[m.ReqID] {
+		return
+	}
+	delete(hs.pending, m.ReqID)
+	if m.OK {
+		hs.moved++
+	} else {
+		hs.failed++
+	}
+	n.maybeFinishHandoff(hs)
+}
+
+// maybeFinishHandoff fires the departure callback once the scan finished
+// and every push was acknowledged or timed out.
+func (n *Node) maybeFinishHandoff(hs *handoffState) {
+	if hs.done || !hs.sent || len(hs.pending) > 0 {
+		return
+	}
+	hs.done = true
+	n.handoff = nil
+	if hs.failed > 0 {
+		n.pc.handoffFailed.Inc()
+		hs.cb(hs.moved, fmt.Errorf("%w: %d chunks unacknowledged", ErrHandoffFailed, hs.failed))
+		return
+	}
+	hs.cb(hs.moved, nil)
+}

@@ -38,6 +38,11 @@ const (
 	// missed during a crash); the answer is an ordinary KindCommit. A
 	// failure-free run never sends one.
 	KindGetCommit = "ici/get-commit"
+	// KindHandoff / KindHandoffAck implement graceful departure: a leaving
+	// member pushes each chunk whose ownership its departure shifts to the
+	// gaining member, which verifies, persists and acknowledges it.
+	KindHandoff    = "ici/handoff"
+	KindHandoffAck = "ici/handoff-ack"
 )
 
 // reqOverhead is the wire size of a small request (kind tag, block hash,
@@ -151,6 +156,21 @@ func (m chunkRespMsg) wireSize() int {
 	return m.Chunk.wireSize()
 }
 
+// handoffMsg pushes one chunk from a gracefully leaving member to the
+// member gaining its ownership under the post-departure epoch.
+type handoffMsg struct {
+	Chunk chunkPayload
+	ReqID uint64 // correlates the ack with the leaver's pending handoff
+}
+
+func (m handoffMsg) wireSize() int { return m.Chunk.wireSize() + 8 }
+
+// handoffAckMsg confirms one handed-off chunk was verified and persisted.
+type handoffAckMsg struct {
+	ReqID uint64
+	OK    bool
+}
+
 // getBlockChunksMsg asks a member for every chunk it holds of one block.
 type getBlockChunksMsg struct {
 	Block blockcrypto.Hash
@@ -194,22 +214,25 @@ func (m blockChunksMsg) wireSize() int {
 	return n
 }
 
-// clusterInfo is the static membership view of one cluster that every node
-// in the simulation shares (membership changes go through System, which
-// rebuilds these views).
+// clusterInfo is the shared membership view of one cluster: an append-only
+// list of membership epochs (see epoch.go) plus the current member slice as
+// a convenience alias of the newest epoch's snapshot. Membership changes go
+// through System, which pushes epochs; nothing mutates members in place.
 type clusterInfo struct {
 	index   int
-	members []simnet.NodeID // sorted ascending
-	// epochs records chunk-count changes caused by membership changes;
-	// see clusterInfo.partsAt in system.go.
-	epochs []partsEpoch
+	members []simnet.NodeID // current members == currentEpoch().members
+	// epochs is the epoch-versioned cluster map: every membership change
+	// appends a (epoch, members, parts) record so historic blocks keep
+	// resolving against the membership they were written under.
+	epochs []membershipEpoch
 	// archived records blocks converted to coded storage (see archive.go).
 	// Like membership, it is a shared cluster view; a real deployment
 	// would record archival decisions on the membership chain.
 	archived map[blockcrypto.Hash]archiveInfo
 }
 
-// leaderAt returns the cluster's leader for the given height.
+// leaderAt returns the cluster's leader for the given height, elected over
+// the membership that governs that height.
 func (c *clusterInfo) leaderAt(height uint64) (simnet.NodeID, error) {
-	return consensus.Leader(c.members, height)
+	return consensus.Leader(c.membersAt(height), height)
 }

@@ -148,6 +148,7 @@ type Node struct {
 	txQueries map[uint64]*txQueryState
 	nextReq   uint64
 	bootstrap *bootstrapState
+	handoff   *handoffState
 
 	metrics NodeMetrics
 
@@ -207,6 +208,11 @@ func (n *Node) HasFinalized(block blockcrypto.Hash) bool { return n.store.HasHea
 
 // SetBehavior installs fault injection.
 func (n *Node) SetBehavior(b Behavior) { n.behavior = b }
+
+// Bootstrapping reports whether this node is still syncing its chain: a
+// mid-bootstrap node must not sponsor another join (its header answer
+// would be empty or partial and corrupt the joiner's bootstrap).
+func (n *Node) Bootstrapping() bool { return n.bootstrap != nil }
 
 // HandleMessage implements simnet.Handler.
 func (n *Node) HandleMessage(net *simnet.Network, msg simnet.Message) {
@@ -272,6 +278,14 @@ func (n *Node) HandleMessage(net *simnet.Network, msg simnet.Message) {
 		if m, ok := msg.Payload.(archiveShareMsg); ok {
 			n.onArchiveShare(net, m)
 		}
+	case KindHandoff:
+		if m, ok := msg.Payload.(handoffMsg); ok {
+			n.onHandoff(net, msg.From, m)
+		}
+	case KindHandoffAck:
+		if m, ok := msg.Payload.(handoffAckMsg); ok {
+			n.onHandoffAck(m)
+		}
 	}
 }
 
@@ -298,7 +312,12 @@ func (n *Node) onPropose(net *simnet.Network, m proposeMsg) {
 	if err != nil {
 		return
 	}
-	parts := len(n.cluster.members)
+	// Distribution is governed by the block's write epoch: the member set,
+	// chunk count and rendezvous ranking all come from the membership at
+	// the block's height, so a membership change racing a proposal cannot
+	// skew placement.
+	members := n.cluster.membersAt(b.Header.Height)
+	parts := len(members)
 	counts, err := SplitCounts(len(b.Txs), parts)
 	if err != nil {
 		return
@@ -356,7 +375,7 @@ func (n *Node) onPropose(net *simnet.Network, m proposeMsg) {
 			payload.Txs = mut
 		}
 		st.payloads[idx] = payload
-		ranked, rerr := RankedMembers(seed, n.cluster.members, idx)
+		ranked, rerr := RankedMembers(seed, members, idx)
 		if rerr != nil {
 			return
 		}
@@ -670,11 +689,15 @@ func (n *Node) onVote(net *simnet.Network, v consensus.Vote) {
 }
 
 // verifyCommit validates a commit certificate: every chunk of the block is
-// covered by quorum-many valid approvals from cluster members.
+// covered by quorum-many valid approvals from members of the block's write
+// epoch. Verifying against the write-epoch membership (not the current
+// one) keeps historic certificates valid after churn: a voter that has
+// since departed was a legitimate member when it voted.
 func (n *Node) verifyCommit(m commitMsg) error {
+	members := n.cluster.membersAt(m.Header.Height)
 	return consensus.VerifyCertificate(
-		m.Header.Hash(), m.Parts, len(n.cluster.members), n.replication, m.Votes,
-		func(id simnet.NodeID) bool { return memberOf(n.cluster.members, id) },
+		m.Header.Hash(), m.Parts, len(members), n.replication, m.Votes,
+		func(id simnet.NodeID) bool { return memberOf(members, id) },
 		n.registry,
 	)
 }

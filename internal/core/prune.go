@@ -33,7 +33,14 @@ func (n *Node) PruneUnowned() int64 {
 		if id.Index >= parts {
 			return false // impossible index under this epoch: collect
 		}
-		owns, oerr := IsOwner(id.Block.Uint64(), n.cluster.members, id.Index, n.replication, n.id)
+		// Ownership is evaluated under the block's placement epoch, not
+		// the current membership: until a migration completes and
+		// advances placement, the pre-churn owners ARE where the data
+		// lives, and collecting their copies would destroy the only
+		// replicas. After the migration advances placement to the current
+		// epoch, the stale copies stop being owned and get collected.
+		place := n.cluster.placementAt(hdr.Height).members
+		owns, oerr := IsOwner(id.Block.Uint64(), place, id.Index, n.replication, n.id)
 		if oerr != nil {
 			return true
 		}

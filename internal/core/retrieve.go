@@ -72,12 +72,17 @@ func (n *Node) retrieveBlock(net *simnet.Network, block blockcrypto.Hash, parent
 func (n *Node) broadcastFetch(net *simnet.Network, req uint64, st *fetchState) {
 	st.attempts++
 	st.waiting = 0
-	st.responded = make(map[simnet.NodeID]bool, len(n.cluster.members))
+	// Ask the union of the current members and the block's placement-epoch
+	// members: before a migration completes, pre-churn chunks still live
+	// on the epoch the block was written under, and asking only the
+	// current membership would miss them.
+	targets := without(n.cluster.members, n.id)
+	if hdr, err := n.store.Header(st.block); err == nil {
+		targets = n.cluster.fetchMembers(hdr.Height, n.id)
+	}
+	st.responded = make(map[simnet.NodeID]bool, len(targets))
 	n.pc.retrieveRounds.Inc()
-	for _, m := range n.cluster.members {
-		if m == n.id {
-			continue
-		}
+	for _, m := range targets {
 		st.waiting++
 		_ = net.Send(simnet.Message{
 			From: n.id, To: m, Kind: KindGetBlockChunks,
@@ -313,10 +318,11 @@ func (n *Node) onHeaders(net *simnet.Network, m headersMsg) {
 		n.store.PutHeader(h)
 		prev = &m.Headers[i]
 	}
-	// Fetch the chunks this node now owns.
+	// Fetch the chunks this node now owns under the current epoch.
 	for _, h := range m.Headers {
 		block := h.Hash()
 		parts := n.cluster.partsAt(h.Height)
+		place := n.cluster.placementAt(h.Height).members
 		seed := block.Uint64()
 		for idx := 0; idx < parts; idx++ {
 			owners, err := Owners(seed, n.cluster.members, idx, n.replication)
@@ -326,23 +332,11 @@ func (n *Node) onHeaders(net *simnet.Network, m headersMsg) {
 			if !memberOf(owners, n.id) {
 				continue
 			}
-			// Fetch from the other current owners first, then fall back to
-			// the owners under the pre-join membership — they held the
-			// chunk before this node existed and remain good sources when
-			// a co-owner is crashed or serving corrupted data.
-			sources := make([]simnet.NodeID, 0, 2*len(owners))
-			for _, o := range owners {
-				if o != n.id {
-					sources = append(sources, o)
-				}
-			}
-			if prevOwners, perr := Owners(seed, without(n.cluster.members, n.id), idx, n.replication); perr == nil {
-				for _, o := range prevOwners {
-					if o != n.id && !memberOf(sources, o) {
-						sources = append(sources, o)
-					}
-				}
-			}
+			// The block's placement-epoch owners definitively stored the
+			// chunk — ask them first. Then the current co-owners (they may
+			// hold a migrated copy already) and finally the remaining
+			// placement members (stale extra copies survive until pruning).
+			sources := chunkSources(seed, idx, n.replication, place, n.cluster.members, n.id)
 			if len(sources) == 0 {
 				continue
 			}
@@ -382,6 +376,31 @@ func (n *Node) finishBootstrap(err error) {
 	bs.span.SetErr(err)
 	bs.span.End()
 	cb(err)
+}
+
+// chunkSources builds the deterministic source ring for re-establishing
+// one chunk: the owners under the block's placement epoch (they stored the
+// chunk when it was distributed or last migrated), then the current-epoch
+// co-owners (a completed migration may already have copied it), then the
+// remaining placement members (stale extra copies survive until pruning).
+// self is excluded throughout.
+func chunkSources(seed uint64, idx, replication int, place, current []simnet.NodeID, self simnet.NodeID) []simnet.NodeID {
+	sources := make([]simnet.NodeID, 0, len(place)+replication)
+	add := func(ids []simnet.NodeID) {
+		for _, o := range ids {
+			if o != self && !memberOf(sources, o) {
+				sources = append(sources, o)
+			}
+		}
+	}
+	if placeOwners, err := Owners(seed, place, idx, replication); err == nil {
+		add(placeOwners)
+	}
+	if curOwners, err := Owners(seed, current, idx, replication); err == nil {
+		add(curOwners)
+	}
+	add(place)
+	return sources
 }
 
 // without returns members minus id.
@@ -512,21 +531,30 @@ func (n *Node) onChunkResp(net *simnet.Network, from simnet.NodeID, m chunkRespM
 // --- repair -------------------------------------------------------------------
 
 // RepairOwnership scans every committed block and fetches any chunk this
-// node now owns (after a membership change) but does not hold. cb receives
-// the number of chunks that could not be recovered from inside the cluster
-// (0 means full intra-cluster integrity was restored).
+// node owns under the current epoch (after a membership change) but does
+// not hold — the placement delta between the block's placement epoch and
+// the current one, never a full reshuffle. Deficits are drained
+// oldest-placement-epoch first: blocks still sitting on the oldest
+// membership are the most at-risk (their source sets shrink with every
+// further departure), so a repair storm re-establishes them before newer
+// deficits. cb receives the number of chunks that could not be recovered
+// from inside the cluster (0 means full intra-cluster integrity was
+// restored).
 func (n *Node) RepairOwnership(net *simnet.Network, cb func(lost int)) {
 	n.pc.repairs.Inc()
 	span := n.tr.Start(0, "repair", "repair", int64(n.id))
 	type want struct {
-		block blockcrypto.Hash
-		idx   int
-		srcs  []simnet.NodeID
+		epochSeq int // the block's placement epoch (repair priority)
+		height   uint64
+		block    blockcrypto.Hash
+		idx      int
+		srcs     []simnet.NodeID
 	}
 	var wants []want
 	for _, h := range n.store.Headers() {
 		block := h.Hash()
 		parts := n.cluster.partsAt(h.Height)
+		place := n.cluster.placementAt(h.Height)
 		seed := block.Uint64()
 		// The store's per-block index answers "which chunks of this block do
 		// I hold" in one lookup; a block whose every part is already local
@@ -546,16 +574,22 @@ func (n *Node) RepairOwnership(net *simnet.Network, cb func(lost int)) {
 			if err != nil || !memberOf(owners, n.id) {
 				continue
 			}
-			srcs := without(owners, n.id)
-			// Other current members may hold it from before the change.
-			for _, m := range n.cluster.members {
-				if m != n.id && !memberOf(srcs, m) {
-					srcs = append(srcs, m)
-				}
-			}
-			wants = append(wants, want{block: block, idx: idx, srcs: srcs})
+			// Sources resolve against the block's placement epoch — the
+			// members that actually stored the chunk — not the mutated
+			// current view.
+			srcs := chunkSources(seed, idx, n.replication, place.members, n.cluster.members, n.id)
+			wants = append(wants, want{epochSeq: place.seq, height: h.Height, block: block, idx: idx, srcs: srcs})
 		}
 	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].epochSeq != wants[j].epochSeq {
+			return wants[i].epochSeq < wants[j].epochSeq
+		}
+		if wants[i].height != wants[j].height {
+			return wants[i].height < wants[j].height
+		}
+		return wants[i].idx < wants[j].idx
+	})
 	if len(wants) == 0 {
 		span.End()
 		cb(0)

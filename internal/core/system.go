@@ -79,25 +79,6 @@ func (c *Config) validate() error {
 	return nil
 }
 
-// partsEpoch records that blocks at height >= FromHeight are split into
-// Parts chunks (cluster size changes create new epochs).
-type partsEpoch struct {
-	fromHeight uint64
-	parts      int
-}
-
-// partsAt returns the chunk count for a block at the given height. Every
-// cluster records an epoch at construction, so the walk always resolves.
-func (c *clusterInfo) partsAt(height uint64) int {
-	parts := len(c.members)
-	for _, e := range c.epochs {
-		if height >= e.fromHeight {
-			parts = e.parts
-		}
-	}
-	return parts
-}
-
 // System assembles and drives a whole ICIStrategy network inside the
 // discrete-event simulator: nodes, clusters, keys, block production,
 // membership changes and repair. It is the protocol-layer counterpart of
@@ -176,11 +157,9 @@ func NewSystem(cfg Config) (*System, error) {
 		for i, m := range asg.Members[c] {
 			members[i] = simnet.NodeID(m)
 		}
-		s.clusters[c] = &clusterInfo{
-			index:   c,
-			members: members,
-			epochs:  []partsEpoch{{fromHeight: 0, parts: len(members)}},
-		}
+		ci := &clusterInfo{index: c}
+		ci.pushEpoch(0, members)
+		s.clusters[c] = ci
 	}
 	registry := s.PublicKey
 	for i := 0; i < cfg.Nodes; i++ {
@@ -441,30 +420,38 @@ func (s *System) FailNode(id simnet.NodeID) error { return s.net.SetDown(id, tru
 func (s *System) RecoverNode(id simnet.NodeID) error { return s.net.SetDown(id, false) }
 
 // RemoveNode permanently removes a node from its cluster's membership and
-// fails it. Chunks it owned must be re-established with RepairCluster.
+// fails it: a new membership epoch excludes it from the current height on,
+// while historic blocks keep resolving placement against the epoch they
+// were written under (the departed copies stay the authoritative sources
+// until RepairCluster migrates the data and advances placement).
 func (s *System) RemoveNode(id simnet.NodeID) error {
 	n, err := s.Node(id)
 	if err != nil {
 		return err
 	}
 	ci := n.cluster
-	ci.members = without(ci.members, id)
-	if len(ci.members) == 0 {
+	if !memberOf(ci.members, id) {
+		return fmt.Errorf("core: node %d is not a member of cluster %d", id, ci.index)
+	}
+	if len(ci.members) == 1 {
 		return fmt.Errorf("core: cluster %d lost its last member", ci.index)
 	}
-	// Future blocks use the shrunk membership as chunk count.
-	ci.epochs = append(ci.epochs, partsEpoch{fromHeight: s.height, parts: len(ci.members)})
+	ci.pushEpoch(s.height, without(ci.members, id))
 	return s.net.SetDown(id, true)
 }
 
 // RepairCluster triggers every member of cluster c to re-establish the
-// chunks it now owns; cb receives the total number of unrecoverable chunks
-// once all members finish. Drive the network afterwards.
+// chunks it owns under the current epoch; cb receives the total number of
+// unrecoverable chunks once all members finish. When nothing was lost the
+// cluster's placement advances to the current epoch: every block's chunks
+// are now fully accounted for under the current membership, and stale
+// copies become prunable. Drive the network afterwards.
 func (s *System) RepairCluster(c int, cb func(lost int)) error {
 	if c < 0 || c >= len(s.clusters) {
 		return fmt.Errorf("%w: %d", ErrUnknownCluster, c)
 	}
 	ci := s.clusters[c]
+	target := ci.currentEpoch().seq
 	outstanding := 0
 	totalLost := 0
 	for _, m := range ci.members {
@@ -485,6 +472,9 @@ func (s *System) RepairCluster(c int, cb func(lost int)) error {
 			totalLost += lost
 			outstanding--
 			if outstanding == 0 {
+				if totalLost == 0 {
+					ci.advancePlacement(target)
+				}
 				cb(totalLost)
 			}
 		})
@@ -492,26 +482,41 @@ func (s *System) RepairCluster(c int, cb func(lost int)) error {
 	return nil
 }
 
+// noNode is the sentinel "exclude nobody" argument of sponsorFor.
+const noNode = ^simnet.NodeID(0)
+
+// sponsorFor picks a bootstrap sponsor inside the cluster: a live member
+// that is not itself mid-bootstrap (a joining member has no chain yet, and
+// syncing headers from it would complete a bootstrap against an empty or
+// partial chain), and not the excluded node.
+func (s *System) sponsorFor(ci *clusterInfo, exclude simnet.NodeID) (simnet.NodeID, error) {
+	for _, m := range ci.members {
+		if m == exclude || s.net.IsDown(m) {
+			continue
+		}
+		if s.nodes[m].Bootstrapping() {
+			continue
+		}
+		return m, nil
+	}
+	return 0, fmt.Errorf("core: cluster %d has no live settled sponsor", ci.index)
+}
+
 // JoinCluster creates a brand-new node, adds it to cluster c's membership,
-// and starts its bootstrap from a live sponsor inside the cluster. cb fires
-// with the new node's ID (and any bootstrap error) once the join completes.
-// Drive the network afterwards.
+// and starts its bootstrap from a live, settled sponsor inside the
+// cluster. cb fires with the new node's ID (and any bootstrap error) once
+// the join completes; on success the cluster's placement advances to the
+// join epoch (rendezvous hashing bounds the movement: only the chunks the
+// newcomer displaces into its own ownership transfer, roughly 1/|members|
+// of the data — never a full reshuffle). Drive the network afterwards.
 func (s *System) JoinCluster(c int, cb func(simnet.NodeID, error)) error {
 	if c < 0 || c >= len(s.clusters) {
 		return fmt.Errorf("%w: %d", ErrUnknownCluster, c)
 	}
 	ci := s.clusters[c]
-	var sponsor simnet.NodeID
-	foundSponsor := false
-	for _, m := range ci.members {
-		if !s.net.IsDown(m) {
-			sponsor = m
-			foundSponsor = true
-			break
-		}
-	}
-	if !foundSponsor {
-		return fmt.Errorf("core: cluster %d has no live sponsor", c)
+	sponsor, err := s.sponsorFor(ci, noNode)
+	if err != nil {
+		return err
 	}
 	id := s.nextID
 	s.nextID++
@@ -519,8 +524,8 @@ func (s *System) JoinCluster(c int, cb func(simnet.NodeID, error)) error {
 	s.keys[id] = key
 	node := newNode(id, ci, key, s.cfg.Replication, s.PublicKey, s.tr, s.pc)
 	s.nodes[id] = node
-	// Place the newcomer near the cluster's first member — joining nodes
-	// pick the latency-closest cluster in practice.
+	// Place the newcomer near its sponsor — joining nodes pick the
+	// latency-closest cluster in practice.
 	coord, err := s.net.Coordinate(sponsor)
 	if err != nil {
 		return err
@@ -532,9 +537,99 @@ func (s *System) JoinCluster(c int, cb func(simnet.NodeID, error)) error {
 	}
 	// Membership grows now; blocks from the current height on are split
 	// into the larger part count.
-	ci.members = append(ci.members, id)
-	sort.Slice(ci.members, func(i, j int) bool { return ci.members[i] < ci.members[j] })
-	ci.epochs = append(ci.epochs, partsEpoch{fromHeight: s.height, parts: len(ci.members)})
-	node.Bootstrap(s.net, sponsor, func(err error) { cb(id, err) })
+	epoch := ci.pushEpoch(s.height, append(ci.members, id))
+	target := epoch.seq
+	node.Bootstrap(s.net, sponsor, func(err error) {
+		if err == nil {
+			ci.advancePlacement(target)
+		}
+		cb(id, err)
+	})
 	return nil
+}
+
+// LeaveCluster gracefully departs a node: a new epoch excludes it, the
+// leaver hands off every chunk whose ownership its departure shifts to the
+// gaining members, and only once every handoff is acknowledged does the
+// node go down. cb fires with the number of chunks moved; on success the
+// cluster's placement advances to the departure epoch, so the cluster
+// needs no repair at all (zero repair bandwidth is the point of leaving
+// gracefully instead of being removed). Drive the network afterwards.
+func (s *System) LeaveCluster(id simnet.NodeID, cb func(moved int, err error)) error {
+	n, err := s.Node(id)
+	if err != nil {
+		return err
+	}
+	ci := n.cluster
+	if !memberOf(ci.members, id) {
+		return fmt.Errorf("core: node %d is not a member of cluster %d", id, ci.index)
+	}
+	if len(ci.members) == 1 {
+		return fmt.Errorf("core: cluster %d lost its last member", ci.index)
+	}
+	if s.net.IsDown(id) {
+		return fmt.Errorf("core: node %d is down; use RemoveNode for crashed members", id)
+	}
+	epoch := ci.pushEpoch(s.height, without(ci.members, id))
+	target := epoch.seq
+	n.HandoffChunks(s.net, func(moved int, herr error) {
+		if herr == nil {
+			ci.advancePlacement(target)
+		}
+		_ = s.net.SetDown(id, true)
+		cb(moved, herr)
+	})
+	return nil
+}
+
+// RejoinCluster brings a previously departed node back under its original
+// identity: the same ID and keypair return to membership in a new epoch,
+// and the node bootstraps the blocks it missed (chunks it still holds from
+// before departing are not refetched). cb fires once the resync completes;
+// on success placement advances to the rejoin epoch. Drive the network
+// afterwards.
+func (s *System) RejoinCluster(id simnet.NodeID, cb func(error)) error {
+	n, err := s.Node(id)
+	if err != nil {
+		return err
+	}
+	ci := n.cluster
+	if memberOf(ci.members, id) {
+		return fmt.Errorf("core: node %d is already a member of cluster %d", id, ci.index)
+	}
+	sponsor, serr := s.sponsorFor(ci, id)
+	if serr != nil {
+		return serr
+	}
+	if err := s.net.SetDown(id, false); err != nil {
+		return err
+	}
+	epoch := ci.pushEpoch(s.height, append(ci.members, id))
+	target := epoch.seq
+	n.Bootstrap(s.net, sponsor, func(err error) {
+		if err == nil {
+			ci.advancePlacement(target)
+		}
+		cb(err)
+	})
+	return nil
+}
+
+// ClusterEpoch returns the current membership epoch sequence number of
+// cluster c (0 until the first membership change) — the epoch tag netx
+// servers and the gateway exchange in cluster maps.
+func (s *System) ClusterEpoch(c int) (int, error) {
+	if c < 0 || c >= len(s.clusters) {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownCluster, c)
+	}
+	return s.clusters[c].currentEpoch().seq, nil
+}
+
+// ClusterMembersAt returns the member set of cluster c that governs blocks
+// at the given height (the write-epoch membership).
+func (s *System) ClusterMembersAt(c int, height uint64) ([]simnet.NodeID, error) {
+	if c < 0 || c >= len(s.clusters) {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownCluster, c)
+	}
+	return append([]simnet.NodeID(nil), s.clusters[c].membersAt(height)...), nil
 }

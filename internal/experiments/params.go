@@ -55,6 +55,12 @@ type Params struct {
 	GatewayCacheBytes  int64   // per-cache budget for the cache-on run
 	GatewayProofEvery  int     // every Nth request is a light-client proof
 
+	// Churn (E16) — epoch-versioned membership under node churn.
+	ChurnClusterSize int   // members in the churned cluster
+	ChurnReplication int   // chunk replication under churn
+	ChurnBlocks      int   // blocks produced across a churn run
+	ChurnRates       []int // churn events per run (sweep)
+
 	// Tracer, when non-nil, is threaded into every protocol-scale system the
 	// suite builds, so a whole icibench run can be traced end to end (E14
 	// always records into its own private recorder regardless).
@@ -95,6 +101,11 @@ func Defaults() Params {
 		GatewayZipfS:       1.1,
 		GatewayCacheBytes:  4 << 20,
 		GatewayProofEvery:  8,
+
+		ChurnClusterSize: 12,
+		ChurnReplication: 2,
+		ChurnBlocks:      24,
+		ChurnRates:       []int{1, 2, 4},
 	}
 }
 
@@ -129,6 +140,11 @@ func Quick() Params {
 		GatewayZipfS:       1.1,
 		GatewayCacheBytes:  1 << 20,
 		GatewayProofEvery:  10,
+
+		ChurnClusterSize: 8,
+		ChurnReplication: 2,
+		ChurnBlocks:      10,
+		ChurnRates:       []int{1, 2},
 	}
 }
 

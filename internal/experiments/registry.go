@@ -31,6 +31,7 @@ func All() []Experiment {
 		{ID: "E13", Name: "erasure coding throughput (extension)", Run: E13CodingThroughput},
 		{ID: "E14", Name: "per-phase trace breakdown (extension)", Run: E14TraceBreakdown},
 		{ID: "E15", Name: "gateway read path under Zipfian load (extension)", Run: E15GatewayLatency},
+		{ID: "E16", Name: "availability and repair bandwidth under churn (extension)", Run: E16ChurnAvailability},
 	}
 }
 

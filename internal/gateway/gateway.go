@@ -53,6 +53,7 @@ type Gateway struct {
 	fetches     *metrics.Counter // ici.gateway.fetches
 	proofs      *metrics.Counter // ici.gateway.txproofs
 	proofsLocal *metrics.Counter // ici.gateway.txproofs_local
+	refreshes   *metrics.Counter // ici.gateway.map_refreshes
 
 	mu       sync.Mutex
 	rotation int // spreads proof queries across peers
@@ -82,6 +83,7 @@ func New(cfg Config) (*Gateway, error) {
 		fetches:     reg.Counter("ici.gateway.fetches"),
 		proofs:      reg.Counter("ici.gateway.txproofs"),
 		proofsLocal: reg.Counter("ici.gateway.txproofs_local"),
+		refreshes:   reg.Counter("ici.gateway.map_refreshes"),
 	}
 	g.batch = newBatcher(cfg.Upstream,
 		reg.Counter("ici.gateway.batch.rpcs"),
@@ -109,6 +111,14 @@ func (g *Gateway) GetBlock(h blockcrypto.Hash) (*chain.Block, error) {
 			return v, nil
 		}
 		b, err := g.fetchBlock(h)
+		if err != nil && g.up.Refresh() {
+			// The miss may be stale membership: a block written (or moved)
+			// under an epoch this gateway had not learned yet resolves to the
+			// wrong parts count or owners. With a fresh cluster map adopted,
+			// one retry reads it where it actually lives.
+			g.refreshes.Inc()
+			b, err = g.fetchBlock(h)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -133,7 +143,10 @@ func (g *Gateway) fetchBlock(h blockcrypto.Hash) (*chain.Block, error) {
 		return nil, err
 	}
 	g.fetches.Inc()
-	parts := g.up.Parts()
+	parts, err := g.up.Parts(h)
+	if err != nil {
+		return nil, err
+	}
 	got := make([]*netx.ChunkResp, parts)
 	var missing []int
 	for idx := 0; idx < parts; idx++ {
@@ -238,7 +251,12 @@ func (g *Gateway) GetTxProof(block, txID blockcrypto.Hash) (core.TxProof, error)
 	}
 	key := "p:" + string(block[:]) + string(txID[:])
 	v, err, shared := g.flights.Do(key, func() (any, error) {
-		return g.fetchProof(block, txID)
+		p, err := g.fetchProof(block, txID)
+		if err != nil && g.up.Refresh() {
+			g.refreshes.Inc()
+			p, err = g.fetchProof(block, txID)
+		}
+		return p, err
 	})
 	if shared {
 		g.coalesced.Inc()
@@ -279,13 +297,16 @@ func (g *Gateway) fetchProof(block, txID blockcrypto.Hash) (core.TxProof, error)
 	if err != nil {
 		return core.TxProof{}, err
 	}
-	parts := g.up.Parts()
+	peers := g.up.Peers()
+	if len(peers) == 0 {
+		return core.TxProof{}, core.ErrTxNotFound
+	}
 	g.mu.Lock()
 	start := g.rotation
 	g.rotation++
 	g.mu.Unlock()
-	for i := 0; i < parts; i++ {
-		peer := (start + i) % parts
+	for i := 0; i < len(peers); i++ {
+		peer := peers[(start+i)%len(peers)]
 		resp, err := g.up.TxProof(peer, block, txID)
 		if err != nil || !resp.Found || resp.Tx == nil || resp.Tx.ID() != txID {
 			continue

@@ -24,10 +24,11 @@ type fakeUpstream struct {
 	chunks  map[int]map[netx.ChunkRef]netx.ChunkResp // peer -> ref -> chunk
 	txs     map[blockcrypto.Hash][]*chain.Transaction
 
-	headerCalls atomic.Int64
-	batchCalls  atomic.Int64
-	batchRefs   atomic.Int64
-	proofCalls  atomic.Int64
+	headerCalls  atomic.Int64
+	batchCalls   atomic.Int64
+	batchRefs    atomic.Int64
+	proofCalls   atomic.Int64
+	refreshCalls atomic.Int64
 
 	// gate, when non-nil, blocks every FetchBatch until closed; entered,
 	// when non-nil, receives one (buffered) send as each FetchBatch arrives.
@@ -100,7 +101,20 @@ func newFakeUpstream(t *testing.T, peers, blocks, txPerBlock int) (*fakeUpstream
 	return u, out
 }
 
-func (u *fakeUpstream) Parts() int { return u.parts }
+func (u *fakeUpstream) Parts(block blockcrypto.Hash) (int, error) { return u.parts, nil }
+
+func (u *fakeUpstream) Peers() []int {
+	peers := make([]int, u.parts)
+	for i := range peers {
+		peers[i] = i
+	}
+	return peers
+}
+
+func (u *fakeUpstream) Refresh() bool {
+	u.refreshCalls.Add(1)
+	return false
+}
 
 func (u *fakeUpstream) Owners(block blockcrypto.Hash, idx int) ([]int, error) {
 	owners := make([]int, u.parts)

@@ -22,13 +22,26 @@ var (
 // Upstream is the storage-cluster view the gateway reads through. The
 // production implementation is ClusterUpstream (below) over the netx TCP
 // protocol; tests substitute fakes to count and fault upstream traffic.
+//
+// Peer numbers are stable for the lifetime of the Upstream — membership
+// refreshes may add peers but never renumber existing ones, so cached
+// placement and per-peer batching stay coherent across churn.
 type Upstream interface {
-	// Parts returns how many chunks each block is split into (the netx
-	// distribution convention: one chunk per cluster member).
-	Parts() int
-	// Owners returns the peer indexes storing chunk idx of the block, in
-	// rendezvous preference order.
+	// Parts returns how many chunks the block was split into at write time
+	// (the netx distribution convention: one chunk per member of the
+	// membership epoch the block was written under).
+	Parts(block blockcrypto.Hash) (int, error)
+	// Owners returns the peers that may hold chunk idx of the block: its
+	// write-epoch owners in rendezvous preference order, then any owners
+	// the chunk migrated to under the newest epoch.
 	Owners(block blockcrypto.Hash, idx int) ([]int, error)
+	// Peers returns the current (newest-epoch) members, for operations that
+	// address the live cluster rather than one block's placement.
+	Peers() []int
+	// Refresh re-fetches the cluster map from the live members and reports
+	// whether a newer membership was adopted — the recovery path when a
+	// read misses because the local map went stale.
+	Refresh() bool
 	// Header resolves a block hash to its header.
 	Header(block blockcrypto.Hash) (chain.Header, error)
 	// FetchBatch fetches chunks from one peer in a single round trip; the
@@ -41,12 +54,21 @@ type Upstream interface {
 // ClusterUpstream reads from a netx storage cluster: one cached connection
 // per member, the same rendezvous placement the writers used, and a local
 // header index kept fresh by incremental header syncs.
+//
+// Membership is epoch-versioned: the upstream starts from the constructor
+// roster as epoch 0 and adopts any newer cluster map published to the
+// servers (see netx.SetClusterMap). Blocks resolve their placement against
+// the epoch they were written under, so reads of pre-churn history keep
+// working after members join or retire. The peer roster is append-only —
+// a member keeps its peer number across refreshes and rejoins.
 type ClusterUpstream struct {
-	addrs       []string
-	ids         []simnet.NodeID
 	replication int
 
 	mu      sync.Mutex
+	roster  []string        // peer number -> address; append-only
+	idOf    []simnet.NodeID // peer number -> placement identity
+	peerOf  map[string]int  // address -> peer number
+	epochs  []netx.EpochInfo
 	clients map[int]*netx.Client
 	timeout time.Duration
 
@@ -56,7 +78,9 @@ type ClusterUpstream struct {
 }
 
 // NewClusterUpstream wires an upstream over the cluster's server addresses;
-// replication must match the value blocks were distributed with.
+// replication must match the value blocks were distributed with. The given
+// addresses become membership epoch 0 (identity i at addrs[i] — the
+// netx.NewCluster convention); later epochs arrive via Refresh.
 func NewClusterUpstream(addrs []string, replication int) (*ClusterUpstream, error) {
 	if len(addrs) == 0 {
 		return nil, netx.ErrNoServers
@@ -64,18 +88,48 @@ func NewClusterUpstream(addrs []string, replication int) (*ClusterUpstream, erro
 	if replication < 1 || replication > len(addrs) {
 		return nil, fmt.Errorf("gateway: replication %d with %d servers", replication, len(addrs))
 	}
-	ids := make([]simnet.NodeID, len(addrs))
-	for i := range ids {
-		ids[i] = simnet.NodeID(i)
+	members := make([]netx.MemberInfo, len(addrs))
+	for i, addr := range addrs {
+		members[i] = netx.MemberInfo{ID: uint64(i), Addr: addr}
 	}
-	return &ClusterUpstream{
-		addrs:       addrs,
-		ids:         ids,
+	u := &ClusterUpstream{
 		replication: replication,
+		peerOf:      make(map[string]int),
 		clients:     make(map[int]*netx.Client),
 		timeout:     netx.DefaultRPCTimeout,
 		headers:     make(map[blockcrypto.Hash]chain.Header),
-	}, nil
+	}
+	u.adoptLocked([]netx.EpochInfo{{Epoch: 0, FromHeight: 0, Members: members}})
+	return u, nil
+}
+
+// adoptLocked installs a cluster map, growing the append-only roster with
+// any member not yet numbered. Callers hold u.mu (or are the constructor).
+func (u *ClusterUpstream) adoptLocked(epochs []netx.EpochInfo) {
+	for _, e := range epochs {
+		for _, m := range e.Members {
+			if p, ok := u.peerOf[m.Addr]; ok {
+				u.idOf[p] = simnet.NodeID(m.ID)
+				continue
+			}
+			u.peerOf[m.Addr] = len(u.roster)
+			u.roster = append(u.roster, m.Addr)
+			u.idOf = append(u.idOf, simnet.NodeID(m.ID))
+		}
+	}
+	u.epochs = append([]netx.EpochInfo(nil), epochs...)
+}
+
+// epochForLocked resolves the membership epoch governing a write height:
+// the last epoch whose FromHeight does not exceed it (so back-to-back
+// epochs at one height resolve to the later — same arithmetic as core).
+func (u *ClusterUpstream) epochForLocked(height uint64) netx.EpochInfo {
+	for i := len(u.epochs) - 1; i > 0; i-- {
+		if u.epochs[i].FromHeight <= height {
+			return u.epochs[i]
+		}
+	}
+	return u.epochs[0]
 }
 
 // SetTimeout sets the per-round-trip deadline for upstream calls.
@@ -98,35 +152,146 @@ func (u *ClusterUpstream) Close() {
 	u.clients = make(map[int]*netx.Client)
 }
 
-// Parts implements Upstream.
-func (u *ClusterUpstream) Parts() int { return len(u.addrs) }
+// Parts implements Upstream: the chunk count of the membership epoch the
+// block was written under.
+func (u *ClusterUpstream) Parts(block blockcrypto.Hash) (int, error) {
+	hdr, err := u.Header(block)
+	if err != nil {
+		return 0, err
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.epochForLocked(hdr.Height).Members), nil
+}
 
-// Owners implements Upstream with the cluster's rendezvous placement.
-func (u *ClusterUpstream) Owners(block blockcrypto.Hash, idx int) ([]int, error) {
-	owners, err := core.Owners(block.Uint64(), u.ids, idx, u.replication)
+// ownersOf maps a member set's rendezvous owners for one chunk to peer
+// numbers, clamping replication to the set size.
+func (u *ClusterUpstream) ownersOf(seed uint64, members []netx.MemberInfo, idx int) ([]int, error) {
+	ids := make([]simnet.NodeID, len(members))
+	for i, m := range members {
+		ids[i] = simnet.NodeID(m.ID)
+	}
+	r := u.replication
+	if r > len(ids) {
+		r = len(ids)
+	}
+	owners, err := core.Owners(seed, ids, idx, r)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]int, len(owners))
-	for i, o := range owners {
-		out[i] = int(o)
+	out := make([]int, 0, len(owners))
+	for _, o := range owners {
+		for i, m := range members {
+			if simnet.NodeID(m.ID) == o {
+				out = append(out, u.peerOf[members[i].Addr])
+				break
+			}
+		}
 	}
 	return out, nil
 }
 
-// client returns a cached or fresh connection to peer.
-func (u *ClusterUpstream) client(peer int) (*netx.Client, error) {
-	if peer < 0 || peer >= len(u.addrs) {
-		return nil, fmt.Errorf("gateway: peer %d of %d", peer, len(u.addrs))
+// Owners implements Upstream: the block's write-epoch owners first (where
+// the chunk was placed), then any distinct owners under the newest epoch
+// (where graceful departures migrate it to).
+func (u *ClusterUpstream) Owners(block blockcrypto.Hash, idx int) ([]int, error) {
+	hdr, err := u.Header(block)
+	if err != nil {
+		return nil, err
+	}
+	seed := block.Uint64()
+	u.mu.Lock()
+	wrote := u.epochForLocked(hdr.Height)
+	newest := u.epochs[len(u.epochs)-1]
+	writeOwners, werr := u.ownersOf(seed, wrote.Members, idx)
+	if werr != nil {
+		u.mu.Unlock()
+		return nil, werr
+	}
+	out := writeOwners
+	if newest.Epoch != wrote.Epoch {
+		newOwners, nerr := u.ownersOf(seed, newest.Members, idx)
+		if nerr != nil {
+			u.mu.Unlock()
+			return nil, nerr
+		}
+		seen := make(map[int]bool, len(out))
+		for _, p := range out {
+			seen[p] = true
+		}
+		for _, p := range newOwners {
+			if !seen[p] {
+				out = append(out, p)
+			}
+		}
+	}
+	u.mu.Unlock()
+	return out, nil
+}
+
+// Peers implements Upstream: the newest epoch's members by peer number.
+func (u *ClusterUpstream) Peers() []int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	newest := u.epochs[len(u.epochs)-1]
+	out := make([]int, 0, len(newest.Members))
+	for _, m := range newest.Members {
+		out = append(out, u.peerOf[m.Addr])
+	}
+	return out
+}
+
+// Refresh implements Upstream: poll every known peer for its cluster map
+// and adopt the newest one found. Returns true when membership advanced —
+// the caller's cue to retry a read that missed under the stale map.
+func (u *ClusterUpstream) Refresh() bool {
+	u.mu.Lock()
+	known := len(u.roster)
+	have := u.epochs[len(u.epochs)-1].Epoch
+	u.mu.Unlock()
+
+	var best []netx.EpochInfo
+	for peer := 0; peer < known; peer++ {
+		c, err := u.client(peer)
+		if err != nil {
+			continue
+		}
+		epochs, err := c.GetClusterMap()
+		if err != nil {
+			u.dropClient(peer)
+			continue
+		}
+		if len(epochs) > 0 && epochs[len(epochs)-1].Epoch > have && len(epochs) > len(best) {
+			best = epochs
+		}
+	}
+	if best == nil {
+		return false
 	}
 	u.mu.Lock()
+	defer u.mu.Unlock()
+	if best[len(best)-1].Epoch <= u.epochs[len(u.epochs)-1].Epoch {
+		return false // raced with another refresher
+	}
+	u.adoptLocked(best)
+	return true
+}
+
+// client returns a cached or fresh connection to peer.
+func (u *ClusterUpstream) client(peer int) (*netx.Client, error) {
+	u.mu.Lock()
+	if peer < 0 || peer >= len(u.roster) {
+		u.mu.Unlock()
+		return nil, fmt.Errorf("gateway: peer %d of %d", peer, len(u.roster))
+	}
 	if c, ok := u.clients[peer]; ok {
 		u.mu.Unlock()
 		return c, nil
 	}
+	addr := u.roster[peer]
 	timeout := u.timeout
 	u.mu.Unlock()
-	c, err := netx.Dial(u.addrs[peer])
+	c, err := netx.Dial(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -182,7 +347,7 @@ func (u *ClusterUpstream) TxProof(peer int, block, txID blockcrypto.Hash) (*netx
 
 // Header implements Upstream: a local index miss triggers one incremental
 // header sync (every header at or above the highest height seen) from the
-// first reachable peer before giving up.
+// first reachable live member before giving up.
 func (u *ClusterUpstream) Header(block blockcrypto.Hash) (chain.Header, error) {
 	u.hmu.Lock()
 	if h, ok := u.headers[block]; ok {
@@ -193,7 +358,7 @@ func (u *ClusterUpstream) Header(block blockcrypto.Hash) (chain.Header, error) {
 	u.hmu.Unlock()
 
 	var lastErr error = ErrUnknownBlock
-	for peer := range u.addrs {
+	for _, peer := range u.Peers() {
 		c, err := u.client(peer)
 		if err != nil {
 			lastErr = err

@@ -148,7 +148,11 @@ func TestClusterUpstreamHeaderSync(t *testing.T) {
 	// Rendezvous placement agrees with the writer's: every owner the
 	// upstream names actually serves the chunk.
 	b := blocks[0]
-	for idx := 0; idx < up.Parts(); idx++ {
+	parts, err := up.Parts(b.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < parts; idx++ {
 		owners, err := up.Owners(b.Hash(), idx)
 		if err != nil {
 			t.Fatal(err)

@@ -46,6 +46,10 @@ func reqName(r *Request) string {
 		return "get-block-chunks"
 	case r.GetTxProof != nil:
 		return "get-txproof"
+	case r.GetClusterMap != nil:
+		return "get-cluster-map"
+	case r.SetClusterMap != nil:
+		return "set-cluster-map"
 	case r.Stats != nil:
 		return "stats"
 	case r.Fault != nil:

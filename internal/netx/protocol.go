@@ -39,6 +39,8 @@ type Request struct {
 	GetChunkBatch  *ChunkBatchReq
 	GetBlockChunks *GetBlockChunksReq
 	GetTxProof     *TxProofReq
+	GetClusterMap  *ClusterMapReq
+	SetClusterMap  *SetClusterMapReq
 	Stats          *StatsReq
 	Fault          *FaultReq
 }
@@ -52,6 +54,7 @@ type Response struct {
 	ChunkBatch  *ChunkBatchResp
 	BlockChunks *BlockChunksResp
 	TxProof     *TxProofResp
+	ClusterMap  *ClusterMapResp
 	Stats       *StatsResp
 	Faults      *FaultResp
 }
@@ -147,6 +150,47 @@ type BlockChunksResp struct {
 	Parts  int
 	Chunks []ChunkResp
 }
+
+// MemberInfo names one cluster member on the wire: its stable placement
+// identity and the address it serves on. The identity — not the address or
+// a positional index — is what rendezvous placement hashes, so a member
+// that moves or rejoins keeps its chunks.
+type MemberInfo struct {
+	ID   uint64
+	Addr string
+}
+
+// EpochInfo is one entry of the epoch-versioned cluster map: the member set
+// that governs blocks written at or above FromHeight. The full epoch
+// history travels together so readers can resolve any historic block
+// against the membership it was written under (same arithmetic as
+// core's membership epochs: last entry with FromHeight <= height wins).
+type EpochInfo struct {
+	Epoch      int
+	FromHeight uint64
+	Members    []MemberInfo
+}
+
+// ClusterMapReq fetches the server's epoch-versioned cluster map.
+type ClusterMapReq struct{}
+
+// ClusterMapResp returns the stored cluster map, oldest epoch first. Empty
+// when no map was ever published to this server.
+type ClusterMapResp struct {
+	Epochs []EpochInfo
+}
+
+// SetClusterMapReq publishes a cluster map. Servers keep the newest map
+// they have seen: a request whose final epoch number does not exceed the
+// stored one is acknowledged but ignored, so republishing after partitions
+// or restarts is always safe.
+type SetClusterMapReq struct {
+	Epochs []EpochInfo
+}
+
+// maxMapEpochs bounds a published map so a buggy client cannot grow server
+// state without limit; real churn histories are far smaller.
+const maxMapEpochs = 65536
 
 // StatsReq asks for the server's storage accounting.
 type StatsReq struct{}

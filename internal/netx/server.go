@@ -35,6 +35,7 @@ type Server struct {
 	mu     sync.Mutex
 	store  *storage.Store
 	meta   map[storage.ChunkID]chunkSidecar
+	cmap   []EpochInfo // newest published cluster map (epoch-versioned membership)
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
@@ -240,6 +241,9 @@ func (s *Server) handle(req *Request) *Response {
 		}
 		return s.handleFault(f, req.Fault)
 	}
+	if req.GetClusterMap != nil || req.SetClusterMap != nil {
+		return s.handleClusterMap(req)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch {
@@ -275,6 +279,41 @@ func (s *Server) handle(req *Request) *Response {
 	default:
 		return errResp(ErrBadRequest)
 	}
+}
+
+// handleClusterMap serves the epoch-versioned membership ops. A published
+// map is kept only when newer than the one held (by final epoch number);
+// stale or duplicate publishes are acknowledged without effect, so
+// republishing after partitions or restarts is always safe.
+func (s *Server) handleClusterMap(req *Request) *Response {
+	if req.GetClusterMap != nil {
+		s.mu.Lock()
+		out := append([]EpochInfo(nil), s.cmap...)
+		s.mu.Unlock()
+		return &Response{ClusterMap: &ClusterMapResp{Epochs: out}}
+	}
+	r := req.SetClusterMap
+	if len(r.Epochs) == 0 || len(r.Epochs) > maxMapEpochs {
+		return errResp(fmt.Errorf("%w: cluster map with %d epochs", ErrBadRequest, len(r.Epochs)))
+	}
+	for i, e := range r.Epochs {
+		if e.Epoch != i {
+			return errResp(fmt.Errorf("%w: epoch %d at position %d", ErrBadRequest, e.Epoch, i))
+		}
+		if len(e.Members) == 0 {
+			return errResp(fmt.Errorf("%w: epoch %d has no members", ErrBadRequest, i))
+		}
+	}
+	newest := r.Epochs[len(r.Epochs)-1].Epoch
+	s.mu.Lock()
+	if len(s.cmap) > 0 && newest <= s.cmap[len(s.cmap)-1].Epoch {
+		s.mu.Unlock()
+		return okResp() // stale or duplicate publish: keep what we have
+	}
+	s.cmap = append([]EpochInfo(nil), r.Epochs...)
+	s.mu.Unlock()
+	s.event("clustermap.update", "epoch", newest, "members", len(r.Epochs[len(r.Epochs)-1].Members))
+	return okResp()
 }
 
 func (s *Server) handlePutChunk(r *PutChunkReq) *Response {
