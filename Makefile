@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-selftest fmt vet bench bench-sim bench-gateway bench-churn sim contest
+.PHONY: all build test race lint lint-fix lint-selftest fmt vet bench bench-sim bench-gateway bench-churn sim contest
 
 all: build test lint
 
@@ -16,22 +16,31 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The repo's own invariant suite: determinism, chunkalias, atomicmix,
-# metricname, spanbalance. See DESIGN.md "Static analysis" for the
-# annotation grammar. Exit 1 means findings; fix or annotate with
-# //icilint:allow analyzer(reason).
+# The repo's own invariant suite — ten analyzers: determinism, chunkalias,
+# atomicmix, metricname, spanbalance, poolreturn, goroleak, deadline,
+# epochres, aliasflow. See DESIGN.md "Static analysis" for the annotation
+# grammar. Exit 1 means findings; fix or annotate with
+# //icilint:allow analyzer(reason). -strict-allow additionally fails on
+# stale suppressions, matching the CI gate.
 lint:
-	$(GO) run ./cmd/icilint ./...
+	$(GO) run ./cmd/icilint -strict-allow ./...
 
-# Prove the gate still bites: the determinism fixture is known-bad, so
-# icilint must exit non-zero on it.
+# Apply the suite's suggested fixes in place (copy-insertion for aliasing
+# findings, stale-allow deletion under -strict-allow). Run `make lint`
+# after to see what remains.
+lint-fix:
+	$(GO) run ./cmd/icilint -strict-allow -fix ./...
+
+# Prove the gate still bites: the determinism and wire fixtures are
+# known-bad, so icilint must exit non-zero on each.
 lint-selftest:
-	@if $(GO) run ./cmd/icilint ./internal/analysis/analyzers/testdata/src/core; then \
-		echo "icilint passed a known-bad fixture: the gate is broken" >&2; \
-		exit 1; \
-	else \
-		echo "lint-selftest ok: fixture still flagged"; \
-	fi
+	@for fixture in core wire; do \
+		if $(GO) run ./cmd/icilint ./internal/analysis/analyzers/testdata/src/$$fixture; then \
+			echo "icilint passed known-bad fixture $$fixture: the gate is broken" >&2; \
+			exit 1; \
+		fi; \
+	done; \
+	echo "lint-selftest ok: fixtures still flagged"
 
 fmt:
 	gofmt -l -w .

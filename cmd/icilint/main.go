@@ -1,8 +1,9 @@
 // Command icilint is the repo's static-analysis gate: it runs the
-// internal/analysis/analyzers suite — five checkers, each encoding a bug
+// internal/analysis/analyzers suite — ten checkers, each encoding a bug
 // family a previous PR actually shipped — over the module and exits
 // non-zero on any finding, so CI blocks regressions of the determinism,
-// chunk-aliasing, atomic-access, metric-naming, and span-balance
+// chunk-aliasing, atomic-access, metric-naming, span-balance, pool-return,
+// goroutine-join, deadline, epoch-resolution, and cross-package aliasing
 // invariants at review time instead of at 3am.
 //
 // Usage:
@@ -14,20 +15,28 @@
 //	icilint -json ./...              # machine-readable findings for CI annotation
 //	icilint -list                    # the suite and what each analyzer polices
 //	icilint -allow FILE ./...        # extra suppression file (default .icilint-allow)
+//	icilint -fix ./...               # apply suggested fixes in place
+//	icilint -diff ./...              # print suggested fixes as a unified diff
+//	icilint -strict-allow ./...      # stale suppressions become findings
 //
 // Findings print as file:line:col: [analyzer] message. Suppression is via
 // source annotations — //icilint:allow analyzer(reason) — or the optional
-// suppression file; both grammars are documented in DESIGN.md. Exit codes:
-// 0 clean, 1 findings, 2 usage/load failure.
+// suppression file; both grammars are documented in DESIGN.md. A
+// suppression that matches no diagnostic is itself reported: as a warning
+// by default, and as an "icilint" finding under -strict-allow (where -fix
+// also deletes stale single-clause annotations). Exit codes: 0 clean,
+// 1 findings, 2 usage/load failure.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"icistrategy/internal/analysis"
@@ -45,6 +54,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (machine-readable diagnostics for CI)")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	allowFile := fs.String("allow", "", "suppression file (default: .icilint-allow at the module root, if present)")
+	fix := fs.Bool("fix", false, "apply suggested fixes to the source files in place")
+	diff := fs.Bool("diff", false, "print suggested fixes as a unified diff without writing (implies not -fix)")
+	strictAllow := fs.Bool("strict-allow", false, "report stale suppressions (allow annotations and file entries matching nothing) as findings")
 	dir := fs.String("C", "", "change to this directory before running")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -90,15 +102,73 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "icilint:", err)
 		return 2
 	}
-	var all []analysis.Diagnostic
-	for _, pkg := range pkgs {
-		diags, err := analysis.Run(pkg, suite)
-		if err != nil {
-			fmt.Fprintln(stderr, "icilint:", err)
-			return 2
-		}
-		all = append(all, sup.Filter(diags)...)
+	res, err := analysis.RunPackages(loader, pkgs, suite, nil)
+	if err != nil {
+		fmt.Fprintln(stderr, "icilint:", err)
+		return 2
 	}
+	all := sup.Filter(res.Diagnostics)
+
+	// Sources for fix application, keyed by the loader's full paths (the
+	// same paths diagnostics' edits carry before relativization).
+	sources := map[string][]byte{}
+	for _, pkg := range pkgs {
+		for path, src := range pkg.Sources {
+			sources[path] = src
+		}
+	}
+
+	// Stale suppressions: annotations that matched nothing and allow-file
+	// entries whose use counter stayed zero. Warnings by default; findings
+	// under -strict-allow, where annotation deletions also become fixes.
+	for _, rec := range res.Allows {
+		if rec.Matched > 0 {
+			continue
+		}
+		if *strictAllow {
+			all = append(all, analysis.StaleAllowDiagnostic(rec.Allow, sources[rec.File]))
+		} else {
+			fmt.Fprintf(stderr, "icilint: warning: %s:%d: stale icilint:allow %s(%s) matches no diagnostic (run -strict-allow to enforce)\n",
+				displayPath(rec.File, root), rec.FromLine, rec.Analyzer, rec.Reason)
+		}
+	}
+	for _, e := range sup.Stale() {
+		if *strictAllow {
+			all = append(all, analysis.NewDiagnostic("icilint",
+				token.Position{Filename: e.File, Line: e.Line, Column: 1},
+				fmt.Sprintf("stale suppression-file entry %q %s: no diagnostic matched; delete the line", e.Pattern, e.Analyzer)))
+		} else {
+			fmt.Fprintf(stderr, "icilint: warning: %s:%d: stale suppression entry %q %s matches no diagnostic (run -strict-allow to enforce)\n",
+				displayPath(e.File, root), e.Line, e.Pattern, e.Analyzer)
+		}
+	}
+	analysis.SortDiagnostics(all)
+
+	if *fix || *diff {
+		changed, applied, dropped := analysis.ApplyFixes(all, sources)
+		files := make([]string, 0, len(changed))
+		for f := range changed {
+			files = append(files, f)
+		}
+		sort.Strings(files)
+		if *diff {
+			for _, f := range files {
+				fmt.Fprint(stdout, analysis.UnifiedDiff(displayPath(f, root), sources[f], changed[f]))
+			}
+		} else {
+			for _, f := range files {
+				if err := writeBack(f, changed[f]); err != nil {
+					fmt.Fprintln(stderr, "icilint:", err)
+					return 2
+				}
+			}
+			fmt.Fprintf(stderr, "icilint: -fix applied %d edit(s) in %d file(s)\n", applied, len(files))
+		}
+		if dropped > 0 {
+			fmt.Fprintf(stderr, "icilint: %d overlapping or out-of-range edit(s) skipped\n", dropped)
+		}
+	}
+
 	relativize(all, root)
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
@@ -124,6 +194,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// writeBack rewrites path with data, preserving the file's mode.
+func writeBack(path string, data []byte) error {
+	mode := os.FileMode(0o644)
+	if st, err := os.Stat(path); err == nil {
+		mode = st.Mode().Perm()
+	}
+	return os.WriteFile(path, data, mode)
+}
+
 // loadSuppressions reads the explicit -allow file, or the default
 // .icilint-allow at the module root when present.
 func loadSuppressions(path, root string, known map[string]bool) (*analysis.Suppressions, error) {
@@ -139,6 +218,14 @@ func loadSuppressions(path, root string, known map[string]bool) (*analysis.Suppr
 	}
 	defer f.Close()
 	return analysis.ParseSuppressions(f, path, known)
+}
+
+// displayPath renders a path relative to the module root when possible.
+func displayPath(path, root string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
 }
 
 // relativize rewrites absolute finding paths relative to the module root,

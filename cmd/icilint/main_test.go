@@ -157,3 +157,143 @@ func TestRunExplicitAllowFlag(t *testing.T) {
 		t.Fatalf("-allow file not honored: exit=%d\n%s%s", code, stdout, stderr)
 	}
 }
+
+const aliasingPut = `package core
+
+type Store struct{ buf []byte }
+
+func (s *Store) Put(data []byte) {
+	s.buf = data
+}
+`
+
+func TestRunFixAppliesAndIsIdempotent(t *testing.T) {
+	root := writeModule(t, map[string]string{"core/store.go": aliasingPut})
+	code, _, stderr := runIn(t, root, "-fix", "./...")
+	if code != 1 {
+		t.Fatalf("first -fix run: exit = %d, want 1 (finding present); stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "-fix applied 1 edit(s) in 1 file(s)") {
+		t.Fatalf("fix summary missing: %s", stderr)
+	}
+	fixed, err := os.ReadFile(filepath.Join(root, "core", "store.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "s.buf = append([]byte(nil), data...)") {
+		t.Fatalf("fix not applied to source:\n%s", fixed)
+	}
+	// Idempotence: the fixed tree is clean, so a second -fix run applies
+	// nothing and exits 0.
+	code, stdout, stderr := runIn(t, root, "-fix", "./...")
+	if code != 0 {
+		t.Fatalf("second -fix run: exit = %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "-fix applied 0 edit(s) in 0 file(s)") {
+		t.Fatalf("second run should apply nothing: %s", stderr)
+	}
+}
+
+func TestRunDiffPrintsWithoutWriting(t *testing.T) {
+	root := writeModule(t, map[string]string{"core/store.go": aliasingPut})
+	code, stdout, stderr := runIn(t, root, "-diff", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "--- core/store.go") ||
+		!strings.Contains(stdout, "+\ts.buf = append([]byte(nil), data...)") {
+		t.Fatalf("diff output missing expected hunk:\n%s", stdout)
+	}
+	onDisk, err := os.ReadFile(filepath.Join(root, "core", "store.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(onDisk) != aliasingPut {
+		t.Fatalf("-diff must not modify files:\n%s", onDisk)
+	}
+}
+
+const staleAnnotated = `package util
+
+func Id(x int) int { return x } //icilint:allow determinism(stale: there is no clock here)
+`
+
+func TestRunStaleAllowAnnotation(t *testing.T) {
+	root := writeModule(t, map[string]string{"util/util.go": staleAnnotated})
+	// Default: warning on stderr, exit stays 0.
+	code, _, stderr := runIn(t, root, "./...")
+	if code != 0 {
+		t.Fatalf("default run: exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "stale icilint:allow determinism") {
+		t.Fatalf("stale-annotation warning missing: %s", stderr)
+	}
+	// -strict-allow: the stale annotation is a finding.
+	code, stdout, _ := runIn(t, root, "-strict-allow", "./...")
+	if code != 1 {
+		t.Fatalf("-strict-allow run: exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "[icilint]") || !strings.Contains(stdout, "stale icilint:allow determinism") {
+		t.Fatalf("stale annotation not reported as finding:\n%s", stdout)
+	}
+	// -strict-allow -fix deletes the annotation; the tree is then clean.
+	if code, _, stderr := runIn(t, root, "-strict-allow", "-fix", "./..."); code != 1 {
+		t.Fatalf("fix pass: exit = %d, want 1; stderr: %s", code, stderr)
+	}
+	fixed, err := os.ReadFile(filepath.Join(root, "util", "util.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(fixed), "icilint:allow") {
+		t.Fatalf("stale annotation not deleted:\n%s", fixed)
+	}
+	if code, stdout, stderr := runIn(t, root, "-strict-allow", "./..."); code != 0 {
+		t.Fatalf("after deletion: exit = %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+}
+
+func TestRunStaleSuppressionFileEntry(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"util/util.go":   "package util\n\nfunc Id(x int) int { return x }\n",
+		".icilint-allow": "util/util.go determinism # nothing fires here anymore\n",
+	})
+	code, _, stderr := runIn(t, root, "./...")
+	if code != 0 {
+		t.Fatalf("default run: exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "stale suppression entry") {
+		t.Fatalf("stale-entry warning missing: %s", stderr)
+	}
+	code, stdout, _ := runIn(t, root, "-strict-allow", "./...")
+	if code != 1 {
+		t.Fatalf("-strict-allow run: exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, ".icilint-allow:1:") || !strings.Contains(stdout, "stale suppression-file entry") {
+		t.Fatalf("stale entry not reported as finding:\n%s", stdout)
+	}
+}
+
+func TestRunOutputDeterministicallySorted(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"core/clock.go":    violatingClock,
+		"cluster/clock.go": strings.Replace(violatingClock, "package core", "package cluster", 1),
+	})
+	var first string
+	for i := 0; i < 3; i++ {
+		code, stdout, _ := runIn(t, root, "./...")
+		if code != 1 {
+			t.Fatalf("exit = %d, want 1", code)
+		}
+		if i == 0 {
+			first = stdout
+			continue
+		}
+		if stdout != first {
+			t.Fatalf("output differs between runs:\n--- run 0\n%s--- run %d\n%s", first, i, stdout)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(first), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "cluster/clock.go:") || !strings.HasPrefix(lines[1], "core/clock.go:") {
+		t.Fatalf("findings not sorted by file:\n%s", first)
+	}
+}

@@ -1,0 +1,225 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"icistrategy/internal/analysis"
+)
+
+// AliasFlow is the interprocedural half of the chunkalias family, built
+// on the cross-package facts layer. Chunkalias flags a function that
+// RETAINS a caller-shared buffer at its definition; what it cannot see
+// is the caller one package over that feeds its own caller's buffer into
+// such a function — the aliasing chain then spans two hops and neither
+// package looks wrong in isolation. That is exactly how the PR-2 bug
+// came back in the gateway: gateway code passed its request buffer to a
+// core put path that (by documented contract, allow-annotated) retains
+// its argument.
+//
+// Two facts, exported while the defining package is analyzed and
+// imported while its dependents are:
+//
+//   - RetainsFact{Params}: the function stores parameter i's buffer
+//     without copying (chunkalias store-side detection, re-run here
+//     regardless of allow annotations — an annotated retention is still
+//     a retention, the contract its callers must respect);
+//   - ReturnsAliasFact: the method returns a view of its receiver's
+//     internal buffer.
+//
+// At each call site the analyzer flags (a) passing a buffer that aliases
+// one of the CALLING function's own parameters to a retaining callee —
+// the caller's caller loses ownership without any local evidence — with
+// a mechanical copy fix, and (b) storing a borrowed ReturnsAlias result
+// into longer-lived state. Intentional handoffs are annotated:
+// //icilint:allow aliasflow(reason).
+var AliasFlow = &analysis.Analyzer{
+	Name: "aliasflow",
+	Doc: `flag cross-package aliasing chains: caller-shared buffers fed to retaining callees (facts-powered)
+
+Historical bug (PR 2, recurring cross-package): a put path that retains
+its []byte argument is safe only while every transitive caller owns the
+buffer it passes; a caller that forwards ITS caller's buffer re-opens the
+corruption one package away from the original fix. The facts layer
+carries "retains its argument" across package boundaries so the forward
+site is flagged where it happens.`,
+	Run: runAliasFlow,
+}
+
+// RetainsFact marks a function that stores one or more of its
+// buffer-carrying parameters without copying. Params holds 0-based
+// indices into the function's parameter list.
+type RetainsFact struct {
+	Params []int `json:"params"`
+}
+
+// AFact marks RetainsFact as a fact type.
+func (*RetainsFact) AFact() {}
+
+// ReturnsAliasFact marks a method that returns a view of its receiver's
+// internal buffer.
+type ReturnsAliasFact struct{}
+
+// AFact marks ReturnsAliasFact as a fact type.
+func (*ReturnsAliasFact) AFact() {}
+
+func runAliasFlow(pass *analysis.Pass) error {
+	// Sweep 1: export facts for every function this package declares, so
+	// same-package and downstream call sites alike can import them.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			exportAliasFacts(pass, fd)
+		}
+	}
+	// Sweep 2: check call sites against the accumulated facts.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkAliasFlow(pass, fd)
+		}
+	}
+	return nil
+}
+
+// exportAliasFacts re-runs the chunkalias detections on fd and records
+// the results as facts about the function object.
+func exportAliasFacts(pass *analysis.Pass, fd *ast.FuncDecl) {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	paramIndex := paramIndexOf(pass, fd)
+	retained := map[int]bool{}
+	storeSide(pass, fd, func(at ast.Expr, src *aliasParam) {
+		if i, ok := paramIndex[src.obj]; ok {
+			retained[i] = true
+		}
+	})
+	if len(retained) > 0 {
+		fact := &RetainsFact{}
+		for i := range retained {
+			fact.Params = append(fact.Params, i)
+		}
+		sort.Ints(fact.Params)
+		pass.ExportObjectFact(fn, fact)
+	}
+	returns := false
+	readSide(pass, fd, func(res ast.Expr, sel *ast.SelectorExpr) { returns = true })
+	if returns {
+		pass.ExportObjectFact(fn, &ReturnsAliasFact{})
+	}
+}
+
+// paramIndexOf maps each parameter object of fd to its 0-based index.
+func paramIndexOf(pass *analysis.Pass, fd *ast.FuncDecl) map[*types.Var]int {
+	out := map[*types.Var]int{}
+	if fd.Type.Params == nil {
+		return out
+	}
+	i := 0
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			i++ // unnamed parameter still occupies an index
+			continue
+		}
+		for _, name := range field.Names {
+			if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				out[obj] = i
+			}
+			i++
+		}
+	}
+	return out
+}
+
+func checkAliasFlow(pass *analysis.Pass, fd *ast.FuncDecl) {
+	params := collectAliasParams(pass, fd)
+	aliasOf := map[types.Object]*aliasParam{}
+	thisFn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Track local aliases of the caller-shared parameters (same
+			// bookkeeping as chunkalias's store side), and catch borrowed
+			// ReturnsAlias results stored into fields.
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					rhs := n.Rhs[i]
+					if src, _ := findAliasSource(pass.TypesInfo, rhs, params, aliasOf); src != nil {
+						if obj := identObjOf(pass, lhs); obj != nil {
+							aliasOf[obj] = src
+						}
+						continue
+					}
+					if obj := identObjOf(pass, lhs); obj != nil {
+						delete(aliasOf, obj)
+						// data = append([]byte(nil), data...) sanitizes the
+						// parameter for everything downstream.
+						if p := paramByObj(params, obj); p != nil && callRooted(rhs) {
+							p.sanitized[nil] = true
+						}
+					}
+					if _, isSel := ast.Unparen(lhs).(*ast.SelectorExpr); isSel {
+						if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+							if fn := calleeFunc(pass.TypesInfo, call); fn != nil && fn != thisFn {
+								if pass.ImportObjectFact(fn, &ReturnsAliasFact{}) {
+									pass.Reportf(rhs.Pos(),
+										"storing buffer borrowed from %s.%s, which returns a view of its receiver's internal state; copy before storing or annotate icilint:allow aliasflow(reason)",
+										pkgNameOf(fn), fn.Name())
+								}
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.TypesInfo, n)
+			if fn == nil || fn == thisFn {
+				return true
+			}
+			var fact RetainsFact
+			if !pass.ImportObjectFact(fn, &fact) {
+				return true
+			}
+			for _, pi := range fact.Params {
+				if pi >= len(n.Args) {
+					continue
+				}
+				arg := n.Args[pi]
+				if src, direct := findAliasSource(pass.TypesInfo, arg, params, aliasOf); src != nil && direct {
+					const format = "passing caller-shared buffer of parameter %q to %s.%s, which retains its argument; the aliasing chain now spans two owners — copy first or annotate icilint:allow aliasflow(reason)"
+					if fix, ok := copyFix(pass, arg); ok {
+						pass.ReportFix(arg.Pos(), fix, format, src.obj.Name(), pkgNameOf(fn), fn.Name())
+						continue
+					}
+					pass.Reportf(arg.Pos(), format, src.obj.Name(), pkgNameOf(fn), fn.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func identObjOf(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(id)
+}
+
+func pkgNameOf(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Name()
+}

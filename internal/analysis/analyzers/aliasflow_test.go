@@ -1,0 +1,18 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"icistrategy/internal/analysis/analysistest"
+	"icistrategy/internal/analysis/analyzers"
+)
+
+// The blobdep/blobuser fixture pair exercises the facts layer end to
+// end: blobdep's Put retains its argument and Peek returns a borrowed
+// view (facts exported), and blobuser forwards its own callers' buffers
+// into them (facts imported, chain flagged at the forwarding site).
+// blobdep is listed first so its facts exist when blobuser is checked —
+// the same dependency order RunPackages derives for the real tree.
+func TestAliasFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.AliasFlow, "blobdep", "blobuser")
+}

@@ -12,6 +12,22 @@
 //     repo's namespace, so Snapshot/CSV output stays stable and greppable
 //   - spanbalance: every trace span started must be ended on all paths, so
 //     the Ring recorder's per-phase summaries never undercount
+//
+// The v2 suite adds five dataflow-powered analyzers (built on the
+// analysis/cfg control-flow graphs and the cross-package facts layer),
+// each encoding a PR 5–8 bug family:
+//
+//   - poolreturn: pooled event structs released on every path and never
+//     touched after release (the PR-5 event-engine free-list bugs)
+//   - goroleak:   goroutines joined via WaitGroup or done channel before
+//     Close/Wait returns (the PR-6 pipe-drain truncation)
+//   - deadline:   conn Read/Write dominated by a SetDeadline arm on all
+//     paths (the PR-7 roundTrip hang)
+//   - epochres:   placement for existing blocks resolved at the block's
+//     write epoch, not the live roster (the PR-8 stale-placement bug)
+//   - aliasflow:  cross-package aliasing chains via RetainsFact /
+//     ReturnsAliasFact (the PR-2 family recurring across package
+//     boundaries)
 package analyzers
 
 import (
@@ -29,6 +45,11 @@ func All() []*analysis.Analyzer {
 		AtomicMix,
 		MetricName,
 		SpanBalance,
+		PoolReturn,
+		GoroLeak,
+		Deadline,
+		EpochRes,
+		AliasFlow,
 	}
 }
 

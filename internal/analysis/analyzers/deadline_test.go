@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"icistrategy/internal/analysis/analysistest"
+	"icistrategy/internal/analysis/analyzers"
+)
+
+// The wire fixture reproduces the PR-7 roundTrip hang: blocking conn I/O
+// with no SetDeadline dominating it, next to the armed fix shape, the
+// one-branch-only arm the must-analysis rejects, and the deadline-less
+// wrapper that stays invisible.
+func TestDeadline(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Deadline, "wire")
+}

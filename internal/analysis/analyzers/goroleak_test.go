@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"icistrategy/internal/analysis/analysistest"
+	"icistrategy/internal/analysis/analyzers"
+)
+
+// The watchsrv fixture reproduces the PR-6 pipe-drain bug: goroutines
+// launched with no join, so Close returns while they still run, next to
+// the WaitGroup and done-channel join shapes that must stay silent.
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.GoroLeak, "watchsrv")
+}

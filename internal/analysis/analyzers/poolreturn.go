@@ -1,0 +1,401 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"icistrategy/internal/analysis"
+	"icistrategy/internal/analysis/cfg"
+)
+
+// PoolReturn encodes the PR-5 pooled-event bug family: the simulator's
+// event engine recycles event structs through a free list, and the two
+// historical failure shapes were (a) an early return that skipped the
+// free call, bleeding the pool dry under load, and (b) touching an event
+// after handing it back, racing with its next incarnation. Both are
+// dataflow properties over the CFG:
+//
+//   - leak (must-release): every path from an acquire to a return must
+//     pass a release — flagged at the offending return statement;
+//   - use-after-release (may): a read of the variable after a release on
+//     ANY path into it is flagged at the use.
+//
+// The analyzer self-scopes: only functions containing BOTH an acquire
+// (sync.Pool.Get, a Get/alloc call on a *Pool*/*Slab*/free-list-shaped
+// type, allocEvent) and a release (Put, free*, freeEvent, Release) are
+// checked, so ordinary code never pays annotation cost. Ownership
+// transfers opt a variable out of the leak check: returning it, storing
+// it into a field/map/channel, or passing it to a non-release call all
+// make someone else responsible for the Put. A `defer pool.Put(ev)`
+// satisfies the leak check without poisoning later uses.
+var PoolReturn = &analysis.Analyzer{
+	Name: "poolreturn",
+	Doc: `flag pooled objects not released on every path, and uses after release
+
+Historical bug (PR 5): the event engine's scheduling path returned early
+on a cancelled timer without freeEvent, draining the free list until every
+schedule allocated fresh; and a later refactor fired an event callback
+after freeEvent had recycled the struct, corrupting the next event in
+line. Pair every pool Get with a Put on all exit paths and never touch a
+released object.`,
+	Run: runPoolReturn,
+}
+
+// acquireNames are callee names that hand out a pooled object.
+var acquireNames = map[string]bool{
+	"Get":        true,
+	"allocEvent": true,
+	"Alloc":      true,
+}
+
+// releaseNames are callee names that hand one back.
+var releaseNames = map[string]bool{
+	"Put":       true,
+	"freeEvent": true,
+	"Free":      true,
+	"Release":   true,
+}
+
+// pooledReceiver reports whether a method call's receiver looks like a
+// pool: sync.Pool, or a named type whose name mentions pool/slab/freelist.
+func pooledReceiver(pass *analysis.Pass, recv ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(recv)
+	if t == nil {
+		return false
+	}
+	n := namedOrNil(t)
+	if n == nil {
+		return false
+	}
+	name := strings.ToLower(n.Obj().Name())
+	if n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "Pool" {
+		return true
+	}
+	return strings.Contains(name, "pool") || strings.Contains(name, "slab") || strings.Contains(name, "freelist")
+}
+
+// acquireTarget returns the variable an acquire call's result lands in,
+// for statements of the shapes `ev := p.Get()` / `ev = p.Get().(*event)`.
+func acquireTarget(pass *analysis.Pass, n ast.Node) types.Object {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	rhs := ast.Unparen(as.Rhs[0])
+	if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+		rhs = ast.Unparen(ta.X)
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || !isAcquireCall(pass, call) {
+		return nil
+	}
+	id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(id)
+}
+
+func isAcquireCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return acquireNames[fun.Sel.Name] && pooledReceiver(pass, fun.X)
+	case *ast.Ident:
+		return fun.Name == "allocEvent"
+	}
+	return false
+}
+
+// releaseArg returns the released variable if call is a release of a
+// plain identifier (p.Put(ev), freeEvent(ev)).
+func releaseArg(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	isRelease := false
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		isRelease = releaseNames[fun.Sel.Name] && pooledReceiver(pass, fun.X)
+	case *ast.Ident:
+		isRelease = fun.Name == "freeEvent"
+	}
+	if !isRelease || len(call.Args) != 1 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(id)
+}
+
+func runPoolReturn(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolReturn(pass, fd)
+		}
+	}
+	return nil
+}
+
+// poolEvent is one lexical occurrence relevant to one tracked variable.
+type poolEvent struct {
+	kind byte // 'g' acquire, 'r' release, 'd' deferred release, 'e' escape, 'u' use
+	obj  types.Object
+	pos  token.Pos
+}
+
+func checkPoolReturn(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// First sweep: find variables that are both acquired and released
+	// somewhere in this function — the self-scoping gate.
+	acquired := map[types.Object]bool{}
+	released := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if obj := acquireTarget(pass, n); obj != nil {
+			acquired[obj] = true
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if obj := releaseArg(pass, call); obj != nil {
+				released[obj] = true
+			}
+		}
+		return true
+	})
+	tracked := map[types.Object]int{}
+	var objs []types.Object
+	for obj := range acquired {
+		if released[obj] && len(objs) < 32 {
+			tracked[obj] = len(objs)
+			objs = append(objs, obj)
+		}
+	}
+	if len(objs) == 0 {
+		return
+	}
+
+	g := cfg.New(fd.Body)
+	blockEvents := make([][]poolEvent, len(g.Blocks))
+	escaped := map[types.Object]bool{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			collectPoolEvents(pass, n, tracked, &blockEvents[b.Index])
+		}
+		for _, ev := range blockEvents[b.Index] {
+			if ev.kind == 'e' {
+				escaped[ev.obj] = true
+			}
+		}
+	}
+
+	// Two bits per variable: H (holds a live pooled object) and R
+	// (released). Both may-analyses: a leak on any path is a leak; a
+	// release on any path poisons later uses.
+	holdBit := func(i int) int { return 2 * i }
+	relBit := func(i int) int { return 2*i + 1 }
+	transfer := func(b *cfg.Block, in cfg.Bits) cfg.Bits {
+		bits := in
+		for _, ev := range blockEvents[b.Index] {
+			i := tracked[ev.obj]
+			switch ev.kind {
+			case 'g':
+				bits = bits.With(holdBit(i)).Without(relBit(i))
+			case 'r':
+				bits = bits.Without(holdBit(i)).With(relBit(i))
+			case 'd', 'e':
+				bits = bits.Without(holdBit(i))
+			}
+		}
+		return bits
+	}
+	in := g.Solve(transfer, cfg.Union, 0)
+
+	// Report sweep: replay each block from its solved entry state.
+	for _, b := range g.Blocks {
+		bits := in[b.Index]
+		for _, ev := range blockEvents[b.Index] {
+			i := tracked[ev.obj]
+			switch ev.kind {
+			case 'g':
+				bits = bits.With(holdBit(i)).Without(relBit(i))
+			case 'r':
+				bits = bits.Without(holdBit(i)).With(relBit(i))
+			case 'd', 'e':
+				bits = bits.Without(holdBit(i))
+			case 'u':
+				if bits.Has(relBit(i)) {
+					pass.Reportf(ev.pos,
+						"use of %q after it was returned to the pool; the next Get may already own it — move the release after the last use or annotate icilint:allow poolreturn(reason)", objName(ev.obj))
+				}
+			}
+		}
+		if b.Return && !b.Panics {
+			for i, obj := range objs {
+				if escaped[obj] {
+					continue
+				}
+				if bits.Has(holdBit(i)) {
+					pass.Reportf(returnPos(b, fd),
+						"return path leaks pooled %q (no release on this path); the free list drains under load — release before returning or annotate icilint:allow poolreturn(reason)", objName(obj))
+				}
+			}
+		}
+	}
+}
+
+// collectPoolEvents records one statement's acquire/release/escape/use
+// events for tracked variables, in lexical order. Func literals are
+// opaque (a closure use is an escape, handled below).
+func collectPoolEvents(pass *analysis.Pass, n ast.Node, tracked map[types.Object]int, out *[]poolEvent) {
+	if obj := acquireTarget(pass, n); obj != nil {
+		if _, ok := tracked[obj]; ok {
+			*out = append(*out, poolEvent{kind: 'g', obj: obj, pos: n.Pos()})
+			return
+		}
+	}
+	if ds, ok := n.(*ast.DeferStmt); ok {
+		if obj := releaseArg(pass, ds.Call); obj != nil {
+			if _, ok := tracked[obj]; ok {
+				*out = append(*out, poolEvent{kind: 'd', obj: obj, pos: ds.Pos()})
+				return
+			}
+		}
+	}
+	releaseCalls := map[*ast.CallExpr]types.Object{}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if call, ok := c.(*ast.CallExpr); ok {
+			if obj := releaseArg(pass, call); obj != nil {
+				if _, tracked := tracked[obj]; tracked {
+					releaseCalls[call] = obj
+				}
+			}
+		}
+		return true
+	})
+	var walk func(c ast.Node, inRelease bool)
+	walk = func(c ast.Node, inRelease bool) {
+		ast.Inspect(c, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				// A closure capturing the variable transfers ownership out
+				// of this function's linear flow.
+				ast.Inspect(m.Body, func(inner ast.Node) bool {
+					if id, ok := inner.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+							if _, ok := tracked[obj]; ok {
+								*out = append(*out, poolEvent{kind: 'e', obj: obj, pos: id.Pos()})
+							}
+						}
+					}
+					return true
+				})
+				return false
+			case *ast.CallExpr:
+				if obj, ok := releaseCalls[m]; ok {
+					if !inRelease {
+						*out = append(*out, poolEvent{kind: 'r', obj: obj, pos: m.Pos()})
+					}
+					// The argument of the release itself is not a "use".
+					for _, arg := range m.Args {
+						walk(arg, true)
+					}
+					walk(m.Fun, true)
+					return false
+				}
+			case *ast.Ident:
+				obj := pass.TypesInfo.ObjectOf(m)
+				if obj == nil {
+					return true
+				}
+				if _, ok := tracked[obj]; !ok {
+					return true
+				}
+				if !inRelease {
+					*out = append(*out, poolEvent{kind: 'u', obj: obj, pos: m.Pos()})
+				}
+				if escapesHere(pass, n, m) {
+					*out = append(*out, poolEvent{kind: 'e', obj: obj, pos: m.Pos()})
+				}
+			}
+			return true
+		})
+	}
+	walk(n, false)
+}
+
+// escapesHere reports whether the identifier use transfers ownership
+// out of the function's hands: returned, stored through a selector/index
+// /deref, sent on a channel, appended into a longer-lived slice, or
+// passed to a call that is not a release (the callee may retain it).
+func escapesHere(pass *analysis.Pass, stmt ast.Node, use *ast.Ident) bool {
+	escape := false
+	ast.Inspect(stmt, func(c ast.Node) bool {
+		if escape {
+			return false
+		}
+		switch c := c.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range c.Results {
+				if containsIdent(r, use) {
+					escape = true
+				}
+			}
+		case *ast.SendStmt:
+			if containsIdent(c.Value, use) {
+				escape = true
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range c.Lhs {
+				if i < len(c.Rhs) && containsIdent(c.Rhs[i], use) {
+					switch ast.Unparen(lhs).(type) {
+					case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+						escape = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if releaseArg(pass, c) != nil || isAcquireCall(pass, c) {
+				return true
+			}
+			for _, arg := range c.Args {
+				if containsIdent(arg, use) {
+					escape = true
+				}
+			}
+		}
+		return !escape
+	})
+	return escape
+}
+
+func containsIdent(e ast.Expr, target *ast.Ident) bool {
+	found := false
+	ast.Inspect(e, func(c ast.Node) bool {
+		if c == ast.Node(target) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func objName(obj types.Object) string { return obj.Name() }
+
+// returnPos anchors a leak report on the block's return statement, or
+// the function's closing brace for fall-off-the-end returns.
+func returnPos(b *cfg.Block, fd *ast.FuncDecl) token.Pos {
+	for i := len(b.Nodes) - 1; i >= 0; i-- {
+		if r, ok := b.Nodes[i].(*ast.ReturnStmt); ok {
+			return r.Pos()
+		}
+	}
+	if len(b.Nodes) > 0 {
+		return b.Nodes[len(b.Nodes)-1].Pos()
+	}
+	return fd.Body.Rbrace
+}

@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"icistrategy/internal/analysis/analysistest"
+	"icistrategy/internal/analysis/analyzers"
+)
+
+// The eventpool fixture reproduces the PR-5 pooled-event engine bugs: a
+// cancelled-timer path returning without freeing the event, and a
+// callback fired after the event was recycled, next to the paired and
+// deferred fix shapes and the ownership handoffs that must stay silent.
+func TestPoolReturn(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.PoolReturn, "eventpool")
+}

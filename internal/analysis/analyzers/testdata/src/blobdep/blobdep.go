@@ -1,0 +1,41 @@
+// Package blobdep is the dependency half of the aliasflow fixture: a
+// cache whose Put retains its argument by documented contract and whose
+// Peek returns a borrowed view. The aliasflow analyzer exports
+// RetainsFact/ReturnsAliasFact for these while analyzing this package
+// and imports them back while analyzing the blobuser package.
+package blobdep
+
+// Cache stores blobs. By contract, Put takes ownership of data — callers
+// who keep using their buffer must copy first.
+type Cache struct {
+	m   map[string][]byte
+	buf []byte
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	return &Cache{m: map[string][]byte{}}
+}
+
+// Put retains data (ownership transfer by contract; see Cache docs).
+func (c *Cache) Put(key string, data []byte) {
+	// (In the real tree this line carries icilint:allow chunkalias(...);
+	// the retention contract is what aliasflow exports as a fact.)
+	c.m[key] = data
+}
+
+// PutCopy copies on put; no fact exported.
+func (c *Cache) PutCopy(key string, data []byte) {
+	c.m[key] = append([]byte(nil), data...)
+}
+
+// Peek returns a borrowed view of the scratch buffer.
+func (c *Cache) Peek() []byte {
+	// (Allow-annotated chunkalias borrow in the real tree.)
+	return c.buf
+}
+
+// Snapshot copies on read; no fact exported.
+func (c *Cache) Snapshot() []byte {
+	return append([]byte(nil), c.buf...)
+}

@@ -1,0 +1,69 @@
+// Package blobuser is the consumer half of the aliasflow fixture: it
+// feeds its own callers' buffers into blobdep's retaining entry points.
+// Neither package looks wrong in isolation — the chain only closes with
+// the cross-package facts exported while blobdep was analyzed.
+package blobuser
+
+import "blobdep"
+
+// Frontend forwards request payloads into the cache.
+type Frontend struct {
+	cache *blobdep.Cache
+	last  []byte
+}
+
+// IngestBroken forwards its caller's buffer straight into Put, which
+// retains it: the frontend's caller now shares storage with the cache
+// two hops away.
+func (f *Frontend) IngestBroken(key string, payload []byte) {
+	f.cache.Put(key, payload) // want `retains its argument`
+}
+
+// IngestTail forwards an interior slice; same chain.
+func (f *Frontend) IngestTail(key string, payload []byte) {
+	f.cache.Put(key, payload[8:]) // want `retains its argument`
+}
+
+// IngestAliased hides the parameter behind a local first.
+func (f *Frontend) IngestAliased(key string, payload []byte) {
+	body := payload
+	f.cache.Put(key, body) // want `retains its argument`
+}
+
+// Ingest is the fix shape: copy before crossing the ownership boundary.
+func (f *Frontend) Ingest(key string, payload []byte) {
+	f.cache.Put(key, append([]byte(nil), payload...))
+}
+
+// IngestSanitized re-points the parameter at a fresh buffer first.
+func (f *Frontend) IngestSanitized(key string, payload []byte) {
+	payload = append([]byte(nil), payload...)
+	f.cache.Put(key, payload)
+}
+
+// IngestCopying calls the copying entry point; no fact, no finding.
+func (f *Frontend) IngestCopying(key string, payload []byte) {
+	f.cache.PutCopy(key, payload)
+}
+
+// IngestLocal passes a locally owned buffer; the frontend is the sole
+// owner, so retention is fine.
+func (f *Frontend) IngestLocal(key string) {
+	local := make([]byte, 32)
+	f.cache.Put(key, local)
+}
+
+// CacheViewBroken parks a borrowed view in long-lived state.
+func (f *Frontend) CacheViewBroken() {
+	f.last = f.cache.Peek() // want `returns a view`
+}
+
+// CacheView copies the borrow before storing it.
+func (f *Frontend) CacheView() {
+	f.last = append([]byte(nil), f.cache.Peek()...)
+}
+
+// CacheSnapshot stores an owned copy; no fact, no finding.
+func (f *Frontend) CacheSnapshot() {
+	f.last = f.cache.Snapshot()
+}

@@ -1,0 +1,110 @@
+// Package epochstore is the epochres golden fixture: it reproduces the
+// PR-8 stale-placement bug — ranking owners over the live roster for a
+// block whose chunks were placed under an earlier membership epoch —
+// next to the epoch-resolved fixed shapes that must stay silent.
+package epochstore
+
+type NodeID string
+
+// Owners mirrors core.Owners: members is the second argument.
+func Owners(blockSeed uint64, members []NodeID, chunkIdx, r int) []NodeID {
+	return members
+}
+
+// RankedMembers mirrors core.RankedMembers.
+func RankedMembers(blockSeed uint64, members []NodeID, chunkIdx int) []NodeID {
+	return members
+}
+
+// IsOwner mirrors core.IsOwner.
+func IsOwner(blockSeed uint64, members []NodeID, chunkIdx, r int, node NodeID) bool {
+	return len(members) > 0 && members[0] == node
+}
+
+// membershipEpoch mirrors the core epoch record: the roster frozen at
+// the epoch's start height.
+type membershipEpoch struct {
+	fromHeight uint64
+	members    []NodeID
+}
+
+// cluster mirrors the live cluster state: a mutable roster plus the
+// epoch history.
+type cluster struct {
+	members []NodeID
+	ids     []NodeID
+	epochs  []membershipEpoch
+}
+
+func (c *cluster) epochAt(height uint64) *membershipEpoch {
+	for i := len(c.epochs) - 1; i >= 0; i-- {
+		if c.epochs[i].fromHeight <= height {
+			return &c.epochs[i]
+		}
+	}
+	return &c.epochs[0]
+}
+
+func (c *cluster) membersAt(height uint64) []NodeID {
+	return c.epochAt(height).members
+}
+
+func (c *cluster) currentEpoch() *membershipEpoch {
+	return &c.epochs[len(c.epochs)-1]
+}
+
+// Retrieve is the historical bug verbatim: the function resolves the
+// block's parts at its write height (epoch-aware) but then ranks owners
+// over the LIVE roster, so after churn it asks nodes that never held the
+// chunks.
+func (c *cluster) Retrieve(seed uint64, height uint64, idx int) []NodeID {
+	_ = c.membersAt(height) // epoch-aware: parts lookup in the real code
+	return Owners(seed, c.members, idx, 2) // want `raw roster`
+}
+
+// RetrieveIDs uses the secondary roster field; same bug.
+func (c *cluster) RetrieveIDs(seed uint64, height uint64, idx int) []NodeID {
+	ep := c.epochAt(height)
+	_ = ep
+	return RankedMembers(seed, c.ids, idx) // want `raw roster`
+}
+
+// RetrievePinned pins the live epoch onto a historical block: still the
+// bug, just dressed as epoch API.
+func (c *cluster) RetrievePinned(seed uint64, height uint64, idx int) bool {
+	_ = c.epochAt(height)
+	return IsOwner(seed, c.currentEpoch().members, idx, 2, "n1") // want `raw roster`
+}
+
+// RetrieveFixed is the PR-8 fix shape: members resolved at the block's
+// write height flow into placement.
+func (c *cluster) RetrieveFixed(seed uint64, height uint64, idx int) []NodeID {
+	ep := c.epochAt(height)
+	return Owners(seed, ep.members, idx, 2)
+}
+
+// RetrieveAt goes through the resolving helper; silent.
+func (c *cluster) RetrieveAt(seed uint64, height uint64, idx int) []NodeID {
+	return Owners(seed, c.membersAt(height), idx, 2)
+}
+
+// Place is the write path: no historical-epoch API in sight, so placing
+// by the live roster is fine and the function stays out of scope.
+func (c *cluster) Place(seed uint64, idx int) []NodeID {
+	return Owners(seed, c.members, idx, 2)
+}
+
+// RetrieveAllowed documents an intentional current-roster ranking inside
+// an epoch-aware function.
+func (c *cluster) RetrieveAllowed(seed uint64, height uint64, idx int) []NodeID {
+	_ = c.membersAt(height)
+	//icilint:allow epochres(probe deliberately measures live-roster disagreement)
+	return Owners(seed, c.members, idx, 2)
+}
+
+// helper passes a plain parameter through; parameters are never flagged
+// (the caller already chose how to resolve them).
+func helper(seed uint64, members []NodeID, height uint64, c *cluster) []NodeID {
+	_ = c.membersAt(height)
+	return Owners(seed, members, 0, 2)
+}

@@ -1,0 +1,140 @@
+// Package eventpool is the poolreturn golden fixture: it reproduces the
+// PR-5 pooled-event engine bugs — an early return that skips the free
+// call, and a callback fired after the event was recycled — next to the
+// paired fix shapes, the defer shape, and the ownership transfers that
+// must stay silent.
+package eventpool
+
+import "sync"
+
+// event mirrors the simulator's pooled event struct.
+type event struct {
+	seq  uint64
+	fire func()
+}
+
+// eventPool mirrors the engine's free list.
+type eventPool struct {
+	mu   sync.Mutex
+	free []*event
+}
+
+func (p *eventPool) Get() *event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		ev := p.free[n-1]
+		p.free = p.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+func (p *eventPool) Put(ev *event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = append(p.free, ev)
+}
+
+// scheduleBroken is the historical leak verbatim: the cancelled-timer
+// path returns without handing the event back.
+func (p *eventPool) scheduleBroken(seq uint64, cancelled bool) {
+	ev := p.Get()
+	ev.seq = seq
+	if cancelled {
+		return // want `leaks pooled`
+	}
+	ev.fire()
+	p.Put(ev)
+}
+
+// schedule is the fix shape: every path releases.
+func (p *eventPool) schedule(seq uint64, cancelled bool) {
+	ev := p.Get()
+	ev.seq = seq
+	if cancelled {
+		p.Put(ev)
+		return
+	}
+	ev.fire()
+	p.Put(ev)
+}
+
+// scheduleDefer releases through defer; silent, and later uses are fine.
+func (p *eventPool) scheduleDefer(seq uint64) {
+	ev := p.Get()
+	defer p.Put(ev)
+	ev.seq = seq
+	ev.fire()
+}
+
+// fireAfterFree is the second historical bug: the callback runs after the
+// event went back to the pool, racing with its next incarnation.
+func (p *eventPool) fireAfterFree(seq uint64) {
+	ev := p.Get()
+	ev.seq = seq
+	p.Put(ev)
+	ev.fire() // want `after it was returned`
+}
+
+// useAfterFreeOnOnePath releases on one branch and then touches the
+// event unconditionally; the may-analysis catches the poisoned path.
+func (p *eventPool) useAfterFreeOnOnePath(seq uint64, early bool) uint64 {
+	ev := p.Get()
+	ev.seq = seq
+	if early {
+		p.Put(ev)
+	} else {
+		ev.fire()
+		p.Put(ev)
+		return 0
+	}
+	return ev.seq // want `after it was returned`
+}
+
+// reacquire re-points the variable at a fresh event; the old release no
+// longer poisons it.
+func (p *eventPool) reacquire(seq uint64) {
+	ev := p.Get()
+	p.Put(ev)
+	ev = p.Get()
+	ev.seq = seq
+	p.Put(ev)
+}
+
+// handoff returns the pooled event to the caller on one path — an
+// ownership transfer, so the missing Put on that path is the caller's
+// business, not a leak.
+func (p *eventPool) handoff(seq uint64, keep bool) *event {
+	ev := p.Get()
+	ev.seq = seq
+	if keep {
+		return ev
+	}
+	p.Put(ev)
+	return nil
+}
+
+// enqueue stores the event into a field; ownership transferred, silent.
+type engine struct {
+	p    eventPool
+	head *event
+}
+
+func (e *engine) enqueue(seq uint64, drop bool) {
+	ev := e.p.Get()
+	ev.seq = seq
+	if drop {
+		e.p.Put(ev)
+		return
+	}
+	e.head = ev
+}
+
+// plainGet never releases in this function at all: the self-scoping gate
+// keeps it silent (some other layer owns the Put).
+func (p *eventPool) plainGet(seq uint64) *event {
+	ev := p.Get()
+	ev.seq = seq
+	return ev
+}

@@ -1,0 +1,135 @@
+// Package watchsrv is the goroleak golden fixture: it reproduces the
+// PR-6 pipe-drain bug — Close returning while per-connection goroutines
+// still run — next to the WaitGroup and done-channel join shapes that
+// must stay silent.
+package watchsrv
+
+import "sync"
+
+type conn interface {
+	Read(p []byte) (int, error)
+	Close() error
+}
+
+// server mirrors the netx/gateway accept-loop shape.
+type server struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	out  []byte
+}
+
+// serveBroken is the historical bug verbatim: the drain goroutine has no
+// join, so Close returns mid-copy and the harness reads a truncated
+// stream.
+func (s *server) serveBroken(c conn) {
+	go s.drainNoJoin(c) // want `without join evidence`
+}
+
+func (s *server) drainNoJoin(c conn) {
+	buf := make([]byte, 64)
+	for {
+		n, err := c.Read(buf)
+		s.out = append(s.out, buf[:n]...)
+		if err != nil {
+			return
+		}
+	}
+}
+
+// serve is the PR-6 fix shape: Add before go, Done inside, Wait in Close.
+func (s *server) serve(c conn) {
+	s.wg.Add(1)
+	go s.drain(c)
+}
+
+func (s *server) drain(c conn) {
+	defer s.wg.Done()
+	buf := make([]byte, 64)
+	for {
+		n, err := c.Read(buf)
+		s.out = append(s.out, buf[:n]...)
+		if err != nil {
+			return
+		}
+	}
+}
+
+// serveLit joins a func literal through the same WaitGroup protocol.
+func (s *server) serveLit(c conn) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		buf := make([]byte, 64)
+		c.Read(buf)
+	}()
+}
+
+// Close waits for every drain before returning.
+func (s *server) Close() {
+	s.wg.Wait()
+}
+
+// runJoined uses the done-channel protocol: the body closes a local
+// channel the launcher receives from.
+func runJoined(c conn) []byte {
+	done := make(chan struct{})
+	var out []byte
+	go func() {
+		defer close(done)
+		buf := make([]byte, 64)
+		n, _ := c.Read(buf)
+		out = buf[:n]
+	}()
+	<-done
+	return out
+}
+
+// runStored parks the done channel in a struct field for a later Wait;
+// still join evidence.
+func (s *server) runStored(c conn) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 64)
+		c.Read(buf)
+	}()
+	s.done = done
+}
+
+// runFieldChan signals a field-held channel directly; teardown receives
+// it elsewhere, silent.
+func (s *server) runFieldChan(c conn) {
+	go func() {
+		defer close(s.done)
+		buf := make([]byte, 64)
+		c.Read(buf)
+	}()
+}
+
+// fireAndForget launches a literal with neither protocol.
+func fireAndForget(c conn) {
+	go func() { // want `without join evidence`
+		buf := make([]byte, 64)
+		c.Read(buf)
+	}()
+}
+
+// addWithoutDone has the Add but the body never calls Done — the exact
+// half-refactored shape that deadlocks Wait or, with a matching Done
+// missing, leaks; still flagged.
+func (s *server) addWithoutDone(c conn) {
+	s.wg.Add(1)
+	go func() { // want `without join evidence`
+		buf := make([]byte, 64)
+		c.Read(buf)
+	}()
+}
+
+// watcherAllowed documents an intentionally unjoined goroutine.
+func watcherAllowed(c conn) {
+	//icilint:allow goroleak(reader-fed watcher: the external pipe closing ends it)
+	go func() {
+		buf := make([]byte, 64)
+		c.Read(buf)
+	}()
+}

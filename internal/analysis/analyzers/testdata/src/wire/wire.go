@@ -1,0 +1,123 @@
+// Package wire is the deadline golden fixture: it reproduces the PR-7
+// roundTrip hang — blocking conn I/O with no SetDeadline armed — next to
+// the armed fixed shapes, the branch-partial arm the must-analysis
+// catches, and the non-deadline-capable wrapper that stays invisible.
+package wire
+
+import "time"
+
+// Conn mirrors the deadline-capable slice of net.Conn.
+type Conn interface {
+	Read(p []byte) (int, error)
+	Write(p []byte) (int, error)
+	SetDeadline(t time.Time) error
+	Close() error
+}
+
+// Msg is the wire unit.
+type Msg struct{ Body []byte }
+
+// ReadMessage mirrors netx.ReadMessage: blocking I/O on its conn
+// argument. The parameter itself is I/O not dominated by any arm, which
+// is the library function's contract — the CALLER arms; annotated.
+func ReadMessage(c Conn, m *Msg) error {
+	buf := make([]byte, 64)
+	//icilint:allow deadline(library primitive: callers arm the deadline)
+	_, err := c.Read(buf)
+	m.Body = buf
+	return err
+}
+
+// WriteMessage mirrors netx.WriteMessage.
+func WriteMessage(c Conn, m *Msg) error {
+	//icilint:allow deadline(library primitive: callers arm the deadline)
+	_, err := c.Write(m.Body)
+	return err
+}
+
+// client holds a conn in a field, the netx.Client shape.
+type client struct {
+	conn    Conn
+	timeout time.Duration
+}
+
+// roundTripBroken is the historical bug verbatim: request out, response
+// in, no deadline armed — one dead peer wedges the worker forever.
+func (c *client) roundTripBroken(req, resp *Msg) error {
+	if err := WriteMessage(c.conn, req); err != nil { // want `no deadline armed`
+		return err
+	}
+	return ReadMessage(c.conn, resp)
+}
+
+// roundTrip is the PR-7 fix shape: the arm dominates both exchanges.
+func (c *client) roundTrip(req, resp *Msg) error {
+	c.conn.SetDeadline(time.Now().Add(c.timeout))
+	if err := WriteMessage(c.conn, req); err != nil {
+		return err
+	}
+	return ReadMessage(c.conn, resp)
+}
+
+// halfArmed arms on only one branch; the must-analysis kills the fact at
+// the join, so the read is flagged.
+func halfArmed(c Conn, fast bool, m *Msg) error {
+	if fast {
+		c.SetDeadline(time.Now().Add(time.Second))
+	}
+	return ReadMessage(c, m) // want `no deadline armed`
+}
+
+// bothArmed arms on every path; silent.
+func bothArmed(c Conn, fast bool, m *Msg) error {
+	if fast {
+		c.SetDeadline(time.Now().Add(time.Second))
+	} else {
+		c.SetDeadline(time.Now().Add(time.Minute))
+	}
+	return ReadMessage(c, m)
+}
+
+// armedBeforeLoop survives the back edge; silent.
+func armedBeforeLoop(c Conn, n int, m *Msg) error {
+	c.SetDeadline(time.Now().Add(time.Second))
+	for i := 0; i < n; i++ {
+		if err := ReadMessage(c, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reassigned loses the arm when the conn is re-pointed.
+func reassigned(c Conn, dial func() Conn, m *Msg) error {
+	c.SetDeadline(time.Now().Add(time.Second))
+	c = dial()
+	return ReadMessage(c, m) // want `no deadline armed`
+}
+
+// countConn mirrors the netx byte-counting wrapper: no SetDeadline in
+// its method set, so I/O through it is invisible — the underlying conn's
+// arm governs.
+type countConn struct {
+	rw interface {
+		Read(p []byte) (int, error)
+		Write(p []byte) (int, error)
+	}
+	n int
+}
+
+func (w *countConn) Read(p []byte) (int, error) {
+	n, err := w.rw.Read(p)
+	w.n += n
+	return n, err
+}
+
+// serveArmed reads through the wrapper after arming the real conn.
+func serveArmed(c Conn) ([]byte, error) {
+	c.SetDeadline(time.Now().Add(time.Second))
+	w := &countConn{rw: c}
+	buf := make([]byte, 16)
+	_, err := w.Read(buf)
+	return buf, err
+}

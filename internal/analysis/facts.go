@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// The facts layer lets an analyzer record typed knowledge about exported
+// objects of one package — "this function retains its []byte argument",
+// "this method returns a view of internal state" — and lets the same
+// analyzer read that knowledge back while checking a DOWNSTREAM package,
+// mirroring golang.org/x/tools/go/analysis facts. RunPackages analyzes
+// packages in dependency order with a shared FactStore, so by the time a
+// consumer package is checked, every fact about its module-internal
+// dependencies is present.
+//
+// Facts are stored serialized (JSON), not as live pointers: export
+// marshals, import unmarshals into the caller's value. That keeps the
+// store order-independent of analyzer internals, makes it durable across
+// loader reloads (Encode/DecodeFactStore), and forces fact types to stay
+// plain data.
+
+// Fact is a datum attached to an object. Implementations must be
+// JSON-marshalable structs; the AFact marker keeps arbitrary types out.
+type Fact interface {
+	AFact()
+}
+
+// factKey identifies one fact: the object's package path, the object's
+// package-local key, the exporting analyzer, and the fact's type name.
+type factKey struct {
+	Pkg      string
+	Obj      string
+	Analyzer string
+	Type     string
+}
+
+// FactStore holds serialized facts for the whole run.
+type FactStore struct {
+	m map[factKey][]byte
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: map[factKey][]byte{}}
+}
+
+// objKey names obj inside its package: "Name" for package-level objects,
+// "Recv.Name" for methods (pointer receivers and value receivers
+// collapse to the same key, as go/types method sets do).
+func objKey(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		sig, ok := fn.Type().(*types.Signature)
+		if ok && sig.Recv() != nil {
+			recv := namedOfType(sig.Recv().Type())
+			if recv == nil {
+				return "", false
+			}
+			return recv.Obj().Name() + "." + fn.Name(), true
+		}
+	}
+	return obj.Name(), true
+}
+
+// namedOfType unwraps pointers and aliases down to the *types.Named.
+func namedOfType(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := types.Unalias(t).(*types.Named)
+	return n
+}
+
+func factTypeName(f Fact) string {
+	t := reflect.TypeOf(f)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	return t.Name()
+}
+
+// export records fact for obj. Only objects belonging to a package may
+// carry facts (no builtins); the fact is serialized immediately.
+func (s *FactStore) export(analyzer string, obj types.Object, f Fact) error {
+	key, ok := objKey(obj)
+	if !ok {
+		return fmt.Errorf("facts: object %v cannot carry a fact", obj)
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("facts: marshal %s for %s: %w", factTypeName(f), key, err)
+	}
+	s.m[factKey{Pkg: obj.Pkg().Path(), Obj: key, Analyzer: analyzer, Type: factTypeName(f)}] = data
+	return nil
+}
+
+// lookup fills f with the fact of f's type attached to obj by analyzer,
+// reporting whether one was found.
+func (s *FactStore) lookup(analyzer string, obj types.Object, f Fact) bool {
+	key, ok := objKey(obj)
+	if !ok {
+		return false
+	}
+	data, ok := s.m[factKey{Pkg: obj.Pkg().Path(), Obj: key, Analyzer: analyzer, Type: factTypeName(f)}]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(data, f) == nil
+}
+
+// Len reports the number of stored facts.
+func (s *FactStore) Len() int { return len(s.m) }
+
+// serializedFact is the wire form of one store entry.
+type serializedFact struct {
+	Pkg      string          `json:"pkg"`
+	Obj      string          `json:"obj"`
+	Analyzer string          `json:"analyzer"`
+	Type     string          `json:"type"`
+	Data     json.RawMessage `json:"data"`
+}
+
+// Encode serializes the store deterministically (sorted by key), so fact
+// files diff cleanly and the byte-stable-output guarantee extends to any
+// persisted fact set.
+func (s *FactStore) Encode() ([]byte, error) {
+	entries := make([]serializedFact, 0, len(s.m))
+	for k, v := range s.m {
+		entries = append(entries, serializedFact{Pkg: k.Pkg, Obj: k.Obj, Analyzer: k.Analyzer, Type: k.Type, Data: v})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Type < b.Type
+	})
+	return json.MarshalIndent(entries, "", "  ")
+}
+
+// DecodeFactStore rebuilds a store from Encode's output — the reload half
+// of the serialize-between-loader-passes contract.
+func DecodeFactStore(data []byte) (*FactStore, error) {
+	var entries []serializedFact
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("facts: decode: %w", err)
+	}
+	s := NewFactStore()
+	for _, e := range entries {
+		s.m[factKey{Pkg: e.Pkg, Obj: e.Obj, Analyzer: e.Analyzer, Type: e.Type}] = e.Data
+	}
+	return s, nil
+}
+
+// String renders a compact summary for debugging and tests.
+func (s *FactStore) String() string {
+	keys := make([]factKey, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		return a.Obj < b.Obj
+	})
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s.%s: %s[%s]=%s\n", k.Pkg, k.Obj, k.Analyzer, k.Type, s.m[k])
+	}
+	return sb.String()
+}

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The suggested-fix engine: analyzers attach byte-offset edits to their
+// diagnostics, and the driver's -fix mode applies every non-overlapping
+// edit (with a dry-run unified-diff mode). Offsets index into the exact
+// bytes the loader parsed, so a fix computed during analysis applies
+// bit-for-bit as long as the file has not changed underneath.
+
+// TextEdit replaces file bytes [Start, End) with NewText. Start==End is a
+// pure insertion.
+type TextEdit struct {
+	File    string `json:"file"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"new_text"`
+}
+
+// SuggestedFix is one self-contained remedy for a diagnostic. Edits may
+// span multiple positions of one file (or several files), and must not
+// overlap within the fix.
+type SuggestedFix struct {
+	// Message says what applying the fix does ("copy the buffer before
+	// storing it"), shown in -fix -diff output.
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// ApplyFixes merges the SuggestedFixes of diags (first fix per
+// diagnostic) and applies them to the given file contents. Overlapping
+// edits are dropped deterministically — the edit starting earliest wins;
+// ties go to the shorter edit — so -fix is idempotent and never produces
+// garbled output. It returns the new contents of every changed file and
+// the number of edits applied and dropped.
+func ApplyFixes(diags []Diagnostic, sources map[string][]byte) (changed map[string][]byte, applied, dropped int) {
+	perFile := map[string][]TextEdit{}
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			continue
+		}
+		for _, e := range d.SuggestedFixes[0].Edits {
+			perFile[e.File] = append(perFile[e.File], e)
+		}
+	}
+	changed = map[string][]byte{}
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		src, ok := sources[f]
+		if !ok {
+			dropped += len(perFile[f])
+			continue
+		}
+		edits := perFile[f]
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start < edits[j].Start
+			}
+			return edits[i].End < edits[j].End
+		})
+		// Keep the first edit of any overlapping run. Identical duplicate
+		// edits (two diagnostics proposing the same change) collapse.
+		kept := edits[:0]
+		lastEnd := -1
+		var prev TextEdit
+		for i, e := range edits {
+			if e.Start < 0 || e.End > len(src) || e.End < e.Start {
+				dropped++
+				continue
+			}
+			if i > 0 && e == prev {
+				continue // exact duplicate
+			}
+			if e.Start < lastEnd {
+				dropped++
+				continue
+			}
+			kept = append(kept, e)
+			lastEnd = e.End
+			prev = e
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		var out []byte
+		pos := 0
+		for _, e := range kept {
+			out = append(out, src[pos:e.Start]...)
+			out = append(out, e.NewText...)
+			pos = e.End
+		}
+		out = append(out, src[pos:]...)
+		applied += len(kept)
+		changed[f] = out
+	}
+	return changed, applied, dropped
+}
+
+// UnifiedDiff renders a minimal unified diff between old and new contents
+// of one file — the -fix -diff dry-run output. Line-based LCS; the files
+// icilint edits are source files, small enough for the quadratic table.
+func UnifiedDiff(name string, oldData, newData []byte) string {
+	a := splitLines(string(oldData))
+	b := splitLines(string(newData))
+	// LCS table.
+	n, m := len(a), len(b)
+	lcs := make([][]int32, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int32, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	type op struct {
+		kind byte // ' ', '-', '+'
+		line string
+	}
+	var ops []op
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, op{' ', a[i]})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, op{'-', a[i]})
+			i++
+		default:
+			ops = append(ops, op{'+', b[j]})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, op{'-', a[i]})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, op{'+', b[j]})
+	}
+
+	// Group changes into hunks with up to 3 context lines.
+	const ctx = 3
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s\n+++ %s\n", name, name)
+	k := 0
+	oldLine, newLine := 1, 1
+	for k < len(ops) {
+		if ops[k].kind == ' ' {
+			oldLine++
+			newLine++
+			k++
+			continue
+		}
+		// Hunk start: back up for context.
+		start := k
+		lead := 0
+		for start > 0 && lead < ctx && ops[start-1].kind == ' ' {
+			start--
+			lead++
+		}
+		// Extend to the hunk end: through changes, allowing <=2*ctx equal
+		// lines between changes, plus trailing context.
+		end := k
+		run := 0
+		for e := k; e < len(ops); e++ {
+			if ops[e].kind == ' ' {
+				run++
+				if run > 2*ctx {
+					break
+				}
+			} else {
+				run = 0
+				end = e + 1
+			}
+		}
+		stop := end
+		trail := 0
+		for stop < len(ops) && trail < ctx && ops[stop].kind == ' ' {
+			stop++
+			trail++
+		}
+		hunkOldStart := oldLine - lead
+		hunkNewStart := newLine - lead
+		oldCount, newCount := 0, 0
+		for e := start; e < stop; e++ {
+			switch ops[e].kind {
+			case ' ':
+				oldCount++
+				newCount++
+			case '-':
+				oldCount++
+			case '+':
+				newCount++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", hunkOldStart, oldCount, hunkNewStart, newCount)
+		for e := start; e < stop; e++ {
+			sb.WriteByte(ops[e].kind)
+			sb.WriteString(ops[e].line)
+			sb.WriteByte('\n')
+		}
+		for e := k; e < stop; e++ {
+			switch ops[e].kind {
+			case ' ':
+				oldLine++
+				newLine++
+			case '-':
+				oldLine++
+			case '+':
+				newLine++
+			}
+		}
+		k = stop
+	}
+	return sb.String()
+}
+
+func splitLines(s string) []string {
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}

@@ -1,0 +1,182 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"icistrategy/internal/analysis"
+)
+
+// writeModule materializes a throwaway module and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for rel, content := range files {
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// A type error in a dependency pulled in through the import graph must
+// surface as a positioned error from Load, not a panic and not a bare
+// "import failed": the file and line of the broken code is what the user
+// needs to act on.
+func TestLoaderTypeErrorMidModule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"dep/dep.go": "package dep\n\nfunc Broken() int {\n\treturn undefinedName\n}\n",
+		"use/use.go": "package use\n\nimport \"tmpmod/dep\"\n\nfunc Use() int { return dep.Broken() }\n",
+	})
+	loader, err := analysis.NewModuleLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loader.Load("./use")
+	if err == nil {
+		t.Fatal("loading a package with a broken dependency must fail")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "dep.go:4:") {
+		t.Errorf("error does not carry the broken file:line: %v", err)
+	}
+	if !strings.Contains(msg, "type-checking") {
+		t.Errorf("error does not say what failed: %v", err)
+	}
+}
+
+// A syntax error must likewise come back as a positioned loader error.
+func TestLoaderParseErrorIsPositioned(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"bad/bad.go": "package bad\n\nfunc Unclosed() {\n",
+	})
+	loader, err := analysis.NewModuleLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = loader.Load("./bad"); err == nil {
+		t.Fatal("loading a package with a syntax error must fail")
+	} else if !strings.Contains(err.Error(), "bad.go:") {
+		t.Errorf("error does not carry the broken file: %v", err)
+	}
+}
+
+// loaderMarkFact is the fact used by the round-trip test below.
+type loaderMarkFact struct {
+	Tag string `json:"tag"`
+}
+
+func (*loaderMarkFact) AFact() {}
+
+// Facts exported during one loader pass must survive Encode →
+// DecodeFactStore → a FRESH loader in a separate process-equivalent run:
+// the serialized keys are (package path, object key) strings, so a
+// reloaded types.Object for the same function must find its fact again.
+func TestLoaderFactsRoundTripThroughReload(t *testing.T) {
+	files := map[string]string{
+		"dep/dep.go": "package dep\n\nfunc Target() {}\n",
+		"use/use.go": "package use\n\nimport \"tmpmod/dep\"\n\nfunc Use() { dep.Target() }\n",
+	}
+	root := writeModule(t, files)
+
+	exporter := &analysis.Analyzer{
+		Name: "marktest",
+		Doc:  "export a fact for every function named Target",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Name.Name != "Target" {
+						continue
+					}
+					if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+						pass.ExportObjectFact(fn, &loaderMarkFact{Tag: "hit"})
+					}
+				}
+			}
+			return nil
+		},
+	}
+	// The checker deliberately exports nothing: any fact it sees in the
+	// second run can only have come through the decoded store.
+	checker := &analysis.Analyzer{
+		Name: "marktest",
+		Doc:  "report calls to functions carrying a loaderMarkFact",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+					if !ok {
+						return true
+					}
+					var fact loaderMarkFact
+					if pass.ImportObjectFact(fn, &fact) {
+						pass.Reportf(call.Pos(), "call to marked function (tag %s)", fact.Tag)
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+
+	loader1, err := analysis.NewModuleLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depPkgs, err := loader1.Load("./dep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := analysis.NewFactStore()
+	if _, err := analysis.RunPackages(loader1, depPkgs, []*analysis.Analyzer{exporter}, store); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() == 0 {
+		t.Fatal("exporter produced no facts")
+	}
+	enc, err := store.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	decoded, err := analysis.DecodeFactStore(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Len() != store.Len() {
+		t.Fatalf("decoded %d facts, exported %d", decoded.Len(), store.Len())
+	}
+	loader2, err := analysis.NewModuleLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usePkgs, err := loader2.Load("./use")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.RunPackages(loader2, usePkgs, []*analysis.Analyzer{checker}, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diagnostics) != 1 || !strings.Contains(res.Diagnostics[0].Message, "tag hit") {
+		t.Fatalf("fact did not survive the reload: diagnostics = %+v", res.Diagnostics)
+	}
+}

@@ -26,8 +26,11 @@ import (
 // the source cannot carry the annotation (generated files, vendored
 // fixtures) and for temporary baselines during a cleanup.
 
-// Suppressions is a parsed suppression file.
+// Suppressions is a parsed suppression file. Entries count their uses so
+// the driver can report entries that no longer match anything — a stale
+// baseline line is a suppression waiting to swallow a future regression.
 type Suppressions struct {
+	name    string
 	entries []suppressEntry
 }
 
@@ -35,12 +38,22 @@ type suppressEntry struct {
 	pattern  string
 	analyzer string
 	line     int
+	matched  int
+}
+
+// StaleEntry identifies a suppression-file entry that matched no
+// diagnostic during the run.
+type StaleEntry struct {
+	File     string
+	Line     int
+	Pattern  string
+	Analyzer string
 }
 
 // ParseSuppressions reads the file format above. known maps valid analyzer
 // names; name is used in error messages.
 func ParseSuppressions(r io.Reader, name string, known map[string]bool) (*Suppressions, error) {
-	s := &Suppressions{}
+	s := &Suppressions{name: name}
 	sc := bufio.NewScanner(r)
 	lineNo := 0
 	for sc.Scan() {
@@ -72,21 +85,40 @@ func ParseSuppressions(r io.Reader, name string, known map[string]bool) (*Suppre
 }
 
 // Match reports whether a diagnostic in file (any path form) from the
-// given analyzer is suppressed.
+// given analyzer is suppressed, crediting the first matching entry's use
+// counter (later entries that would also match earn no credit).
 func (s *Suppressions) Match(file, analyzer string) bool {
 	if s == nil {
 		return false
 	}
 	file = strings.ReplaceAll(file, "\\", "/")
-	for _, e := range s.entries {
+	for i := range s.entries {
+		e := &s.entries[i]
 		if e.analyzer != "*" && e.analyzer != analyzer {
 			continue
 		}
 		if suffixPatternMatch(e.pattern, file) {
+			e.matched++
 			return true
 		}
 	}
 	return false
+}
+
+// Stale returns the entries whose use counter is still zero, in file
+// order. Meaningful only after Filter/Match has seen the run's full
+// diagnostic stream.
+func (s *Suppressions) Stale() []StaleEntry {
+	if s == nil {
+		return nil
+	}
+	var out []StaleEntry
+	for _, e := range s.entries {
+		if e.matched == 0 {
+			out = append(out, StaleEntry{File: s.name, Line: e.line, Pattern: e.pattern, Analyzer: e.analyzer})
+		}
+	}
+	return out
 }
 
 // suffixPatternMatch matches pattern against the trailing path elements of

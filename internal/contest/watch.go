@@ -79,6 +79,7 @@ func (w *logWatcher) closeWatch() {
 // used by tests and any future pipe-fed stream.
 func watchLines(r io.Reader, echo io.Writer, prefix string) *logWatcher {
 	w := newLogWatcher(echo, prefix)
+	//icilint:allow goroleak(pump exits on reader EOF when the feeding pipe closes; the harness never outlives its child processes)
 	go func() {
 		br := bufio.NewReader(r)
 		_, _ = io.Copy(w, br)

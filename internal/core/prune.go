@@ -23,7 +23,10 @@ func (n *Node) PruneUnowned() int64 {
 			if !meta.coded {
 				return false // stale replicated chunk of an archived block
 			}
-			owners, oerr := Owners(info.seed, n.cluster.members, id.Index, 1)
+			// Pruning evaluates PRESENT responsibility: churn transfer has
+			// already re-homed archived chunks under the live roster, so
+			// "do I own this now" is the question, not who wrote it.
+			owners, oerr := Owners(info.seed, n.cluster.members, id.Index, 1) //icilint:allow epochres(prune asks present responsibility; churn transfer re-homes archived chunks under the live roster)
 			if oerr != nil {
 				return true // cannot evaluate: keep conservatively
 			}

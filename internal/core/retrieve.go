@@ -325,7 +325,7 @@ func (n *Node) onHeaders(net *simnet.Network, m headersMsg) {
 		place := n.cluster.placementAt(h.Height).members
 		seed := block.Uint64()
 		for idx := 0; idx < parts; idx++ {
-			owners, err := Owners(seed, n.cluster.members, idx, n.replication)
+			owners, err := Owners(seed, n.cluster.members, idx, n.replication) //icilint:allow epochres(bootstrap decides what this node should hold under the live roster; fetch sources resolve via placementAt above)
 			if err != nil {
 				continue
 			}
@@ -570,7 +570,7 @@ func (n *Node) RepairOwnership(net *simnet.Network, cb func(lost int)) {
 			if held[idx] {
 				continue
 			}
-			owners, err := Owners(seed, n.cluster.members, idx, n.replication)
+			owners, err := Owners(seed, n.cluster.members, idx, n.replication) //icilint:allow epochres(repair targets the post-churn roster by design; sources below use the block's placement epoch)
 			if err != nil || !memberOf(owners, n.id) {
 				continue
 			}

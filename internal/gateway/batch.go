@@ -61,6 +61,7 @@ func (b *batcher) Fetch(peer int, ref netx.ChunkRef) (*netx.ChunkResp, error) {
 	}
 	q.mu.Unlock()
 	if drain {
+		//icilint:allow goroleak(single drainer per peer; every Fetch blocks on its result channel until the drainer replies, and the drainer exits once pending empties)
 		go b.drain(peer, q)
 	}
 	res := <-ch

@@ -58,6 +58,7 @@ type Server struct {
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
 }
 
 // NewServer starts serving g on addr ("host:0" picks a free port).
@@ -67,6 +68,7 @@ func NewServer(addr string, g *Gateway) (*Server, error) {
 		return nil, fmt.Errorf("gateway: listen %s: %w", addr, err)
 	}
 	s := &Server{g: g, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
@@ -87,10 +89,15 @@ func (s *Server) Close() error {
 	for _, c := range conns {
 		_ = c.Close()
 	}
+	// Closing the listener and every conn unblocks the accept loop and all
+	// connection handlers; wait for them so no handler touches the Gateway
+	// after Close returns.
+	s.wg.Wait()
 	return err
 }
 
 func (s *Server) acceptLoop() {
+	defer s.wg.Done()
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -103,12 +110,14 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
 		s.mu.Unlock()
 		go s.serveConn(conn)
 	}
 }
 
 func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -117,7 +126,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	for {
 		var req WireRequest
-		if err := netx.ReadMessage(conn, &req); err != nil {
+		// Waiting for the client's next request may legitimately block for
+		// the connection's whole idle lifetime; Close unwedges it by
+		// closing the conn, so no deadline is armed here.
+		if err := netx.ReadMessage(conn, &req); err != nil { //icilint:allow deadline(idle wait for next request; Close unblocks it by closing the conn)
 			return
 		}
 		resp := s.handle(&req)

@@ -293,7 +293,7 @@ func (cl *Cluster) RejoinMember(addr string) (int, error) {
 		wrote := epochForMap(epochs, h.Height)
 		parts := len(wrote.Members)
 		for idx := 0; idx < parts; idx++ {
-			owns, oerr := core.IsOwner(seed, cl.ids, idx, cl.replication, self)
+			owns, oerr := core.IsOwner(seed, cl.ids, idx, cl.replication, self) //icilint:allow epochres(churn transfer decides ownership under the NEW roster on purpose; it fetches from the write-epoch members wrote.Members)
 			if oerr != nil {
 				return transferred, oerr
 			}
